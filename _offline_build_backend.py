@@ -1,0 +1,153 @@
+"""Minimal PEP 517 build backend for fully offline environments.
+
+The evaluation environment for this reproduction has ``setuptools`` but not
+the ``wheel`` package and no network access, which breaks both build
+isolation (pip cannot download ``setuptools``/``wheel``) and setuptools'
+PEP 660 editable-install path (its ``dist_info``/``editable_wheel`` commands
+import ``bdist_wheel`` from the missing ``wheel`` distribution).
+
+This backend is pure standard library.  It builds:
+
+* a regular wheel (``build_wheel``) by zipping ``src/repro`` plus generated
+  ``*.dist-info`` metadata, and
+* an editable wheel (``build_editable``) containing only a ``.pth`` file that
+  points at ``src/``, which is the classic development-install mechanism.
+
+It is intentionally tiny and project-specific — it reads the name/version/
+dependencies it needs directly from ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - fallback for very old interpreters
+    tomllib = None
+
+_ROOT = os.path.dirname(os.path.abspath(__file__))
+
+
+def _project_meta() -> dict:
+    path = os.path.join(_ROOT, "pyproject.toml")
+    if tomllib is None:
+        raise RuntimeError("tomllib unavailable; need Python >= 3.11")
+    with open(path, "rb") as fh:
+        data = tomllib.load(fh)
+    return data["project"]
+
+
+def _metadata_text(meta: dict) -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {meta['name']}",
+        f"Version: {meta['version']}",
+    ]
+    if meta.get("description"):
+        lines.append(f"Summary: {meta['description']}")
+    if meta.get("requires-python"):
+        lines.append(f"Requires-Python: {meta['requires-python']}")
+    for dep in meta.get("dependencies", []):
+        lines.append(f"Requires-Dist: {dep}")
+    for extra, deps in (meta.get("optional-dependencies") or {}).items():
+        lines.append(f"Provides-Extra: {extra}")
+        for dep in deps:
+            lines.append(f'Requires-Dist: {dep} ; extra == "{extra}"')
+    return "\n".join(lines) + "\n"
+
+
+_WHEEL_TEXT = (
+    "Wheel-Version: 1.0\n"
+    "Generator: offline-build-backend (0.1)\n"
+    "Root-Is-Purelib: true\n"
+    "Tag: py3-none-any\n"
+)
+
+
+def _record_entry(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=").decode()
+    return f"{name},sha256={digest},{len(data)}"
+
+
+def _write_wheel(wheel_path: str, files: dict) -> None:
+    """Write a wheel (zip) from ``{archive_name: bytes}`` plus a RECORD."""
+    dist_info = next(n.split("/")[0] for n in files if n.endswith("METADATA"))
+    record_name = f"{dist_info}/RECORD"
+    record_lines = [_record_entry(name, data) for name, data in files.items()]
+    record_lines.append(f"{record_name},,")
+    files = dict(files)
+    files[record_name] = ("\n".join(record_lines) + "\n").encode()
+    with zipfile.ZipFile(wheel_path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, data in files.items():
+            zf.writestr(name, data)
+
+
+def _dist_info_files(meta: dict) -> dict:
+    dist_info = f"{meta['name']}-{meta['version']}.dist-info"
+    return {
+        f"{dist_info}/METADATA": _metadata_text(meta).encode(),
+        f"{dist_info}/WHEEL": _WHEEL_TEXT.encode(),
+        f"{dist_info}/top_level.txt": b"repro\n",
+    }
+
+
+# ---------------------------------------------------------------------------
+# PEP 517 / PEP 660 hooks
+# ---------------------------------------------------------------------------
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    meta = _project_meta()
+    wheel_name = f"{meta['name']}-{meta['version']}-py3-none-any.whl"
+    files = _dist_info_files(meta)
+    pkg_root = os.path.join(_ROOT, "src")
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(pkg_root, "repro")):
+        for fname in sorted(filenames):
+            if fname.endswith((".pyc", ".pyo")) or "__pycache__" in dirpath:
+                continue
+            full = os.path.join(dirpath, fname)
+            rel = os.path.relpath(full, pkg_root).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                files[rel] = fh.read()
+    _write_wheel(os.path.join(wheel_directory, wheel_name), files)
+    return wheel_name
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    meta = _project_meta()
+    wheel_name = f"{meta['name']}-{meta['version']}-py3-none-any.whl"
+    files = _dist_info_files(meta)
+    src_path = os.path.join(_ROOT, "src")
+    files[f"__editable__.{meta['name']}.pth"] = (src_path + "\n").encode()
+    _write_wheel(os.path.join(wheel_directory, wheel_name), files)
+    return wheel_name
+
+
+def build_sdist(sdist_directory, config_settings=None):  # pragma: no cover - unused offline
+    import tarfile
+
+    meta = _project_meta()
+    base = f"{meta['name']}-{meta['version']}"
+    sdist_name = f"{base}.tar.gz"
+    path = os.path.join(sdist_directory, sdist_name)
+    with tarfile.open(path, "w:gz") as tf:
+        for entry in ("pyproject.toml", "README.md", "src"):
+            full = os.path.join(_ROOT, entry)
+            if os.path.exists(full):
+                tf.add(full, arcname=f"{base}/{entry}")
+    return sdist_name

@@ -1,0 +1,66 @@
+"""E10 (Section III-A): context-aware model selection across device states.
+
+Expected shape: the selected variant changes with context — plugged-in
+flagship phones get the biggest/most accurate variant, battery-constrained
+MCUs get a quantized one, and devices on slow/metered links get the variant
+that is cheapest to download.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ModelSelector, SelectionPolicy
+from repro.devices import NetworkCondition, NetworkType, get_profile
+from repro.optimize import VariantGenerator
+
+
+@pytest.fixture(scope="module")
+def selection_variants(bench_model, bench_task):
+    _, test = bench_task
+    profiles = [get_profile(n) for n in ("mcu-m4", "phone-mid", "phone-flagship")]
+    return VariantGenerator().generate(bench_model, test.x, test.y, profiles, bit_widths=(8, 4, 2), sparsities=(0.5,))
+
+
+def test_e10_selection_throughput(benchmark, selection_variants):
+    selector = ModelSelector()
+    contexts = [
+        (get_profile("phone-flagship"), NetworkCondition.of(NetworkType.WIFI), SelectionPolicy.plugged_in()),
+        (get_profile("mcu-m4"), NetworkCondition.of(NetworkType.CELLULAR), SelectionPolicy.low_battery()),
+        (get_profile("phone-mid"), NetworkCondition.of(NetworkType.LPWAN), SelectionPolicy.slow_network()),
+    ]
+
+    def select_all():
+        return [selector.select(selection_variants, p, network=n, policy=pol).chosen.name for p, n, pol in contexts]
+
+    chosen = benchmark(select_all)
+    benchmark.extra_info["chosen_per_context"] = dict(zip(["flagship+wifi+plugged", "mcu+cellular+low_batt", "mid+lpwan"], chosen))
+
+
+def test_e10_context_changes_choice(selection_variants):
+    selector = ModelSelector()
+    flagship_plugged = selector.select(
+        selection_variants, get_profile("phone-flagship"), network=NetworkCondition.of(NetworkType.WIFI), policy=SelectionPolicy.plugged_in()
+    ).chosen
+    mcu_battery = selector.select(
+        selection_variants, get_profile("mcu-m4"), network=NetworkCondition.of(NetworkType.CELLULAR), policy=SelectionPolicy.low_battery()
+    ).chosen
+    slow_net = selector.select(
+        selection_variants, get_profile("phone-mid"), network=NetworkCondition.of(NetworkType.LPWAN), policy=SelectionPolicy.slow_network()
+    ).chosen
+    # Battery/size constrained contexts pick smaller or equal artifacts than the plugged flagship.
+    assert mcu_battery.size_bytes <= flagship_plugged.size_bytes
+    assert slow_net.size_bytes <= flagship_plugged.size_bytes
+    # The flagship keeps top accuracy.
+    assert flagship_plugged.accuracy >= max(v.accuracy for v in selection_variants) - 1e-9
+
+
+def test_e10_latency_budget_constraint(selection_variants):
+    selector = ModelSelector()
+    tight = SelectionPolicy(max_latency_s=1e-7)
+    result = selector.select(selection_variants, get_profile("mcu-m4"), policy=tight)
+    relaxed = selector.select(selection_variants, get_profile("mcu-m4"), policy=SelectionPolicy())
+    assert relaxed.chosen is not None
+    if result.chosen is not None:
+        assert result.chosen.latency_s["mcu-m4"] <= 1e-7

@@ -1,0 +1,74 @@
+"""E2 (Section II / III-A): quantization & pruning accuracy/size/latency trade-offs.
+
+Expected shape (matches the TinyML literature the paper cites): 8-bit is
+essentially lossless while shrinking the model 4x; very low bit widths and
+very high sparsities degrade accuracy; low precision only speeds devices up
+when they have native kernels for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import CostModel, get_profile
+from repro.optimize import VariantGenerator, pareto_front
+
+
+@pytest.fixture(scope="module")
+def variant_table(bench_model, bench_task):
+    _, test = bench_task
+    profiles = [get_profile("mcu-m4"), get_profile("sensor-dsp"), get_profile("phone-flagship")]
+    variants = VariantGenerator().generate(
+        bench_model, test.x, test.y, profiles,
+        bit_widths=(8, 4, 2, 1), sparsities=(0.5, 0.75, 0.9), lowrank_compressions=(2.0,),
+    )
+    return variants
+
+
+def test_e2_variant_sweep(benchmark, bench_model, bench_task):
+    """Time the full variant generation + evaluation sweep (the optimization pipeline)."""
+    _, test = bench_task
+    profiles = [get_profile("mcu-m4"), get_profile("phone-flagship")]
+
+    def run():
+        return VariantGenerator().generate(bench_model, test.x, test.y, profiles, bit_widths=(8, 4, 2), sparsities=(0.5, 0.9))
+
+    variants = benchmark(run)
+    benchmark.extra_info["rows"] = [v.record() for v in variants]
+
+
+def test_e2_expected_tradeoff_shape(variant_table, bench_model, bench_task):
+    """Check the qualitative trade-off shape the paper's Section II describes."""
+    _, test = bench_task
+    by_name = {v.name: v for v in variant_table}
+    base = by_name["bench-model"]
+    int8 = by_name["bench-model-int8"]
+    int1 = by_name["bench-model-int1"]
+    sp90 = by_name["bench-model-sp90"]
+    # 8-bit: near-lossless, 4x smaller.
+    assert int8.accuracy >= base.accuracy - 0.02
+    assert int8.size_bytes <= base.size_bytes / 3.5
+    # 1-bit: far smaller but clearly degraded on this task.
+    assert int1.size_bytes < int8.size_bytes
+    assert int1.accuracy <= base.accuracy
+    # Extreme pruning hurts more than moderate pruning.
+    assert sp90.accuracy <= by_name["bench-model-sp50"].accuracy + 0.02
+    # Pareto front keeps the baseline or something at least as accurate.
+    front = pareto_front(variant_table)
+    assert max(v.accuracy for v in front) >= base.accuracy - 1e-9
+
+
+def test_e2_low_precision_speedup_requires_hw_support(variant_table):
+    """4-bit is faster on the DSP (native 4/2/1-bit) but not on mcu-m4 (8-bit only)."""
+    cm = CostModel()
+    by_name = {v.name: v for v in variant_table}
+    int4 = by_name["bench-model-int4"]
+    dsp = get_profile("sensor-dsp")
+    mcu = get_profile("mcu-m4")
+    dsp_fp32 = cm.model_inference_cost(dsp, by_name["bench-model"].model, bits=32).latency_s
+    dsp_int4 = cm.model_inference_cost(dsp, int4.model, bits=4).latency_s
+    mcu_int8 = cm.model_inference_cost(mcu, by_name["bench-model-int8"].model, bits=8).latency_s
+    mcu_int4 = cm.model_inference_cost(mcu, int4.model, bits=4).latency_s
+    assert dsp_int4 < dsp_fp32  # native support -> speed-up
+    assert mcu_int4 >= mcu_int8  # no native 4-bit kernels -> no speed-up

@@ -1,0 +1,70 @@
+"""E3 (Section III-A): the model-version explosion and registry scaling.
+
+Expected shape: a centralized deployment manages one model; an edge
+deployment managing F fidelity levels x B bit-widths across a fleet multiplies
+the artifact count, and retraining the base retriggers every derived variant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn import make_multi_fidelity_family
+from repro.registry import ModelRegistry, OptimizationPipeline, TriggerManager
+
+
+def _populate(n_fidelities: int, bit_widths, sparsities, n_devices: int) -> dict:
+    registry = ModelRegistry()
+    manager = TriggerManager(registry)
+    family = make_multi_fidelity_family(16, 4, widths=((16,), (32, 16), (64, 32), (128, 64))[:n_fidelities], seed=0)
+    derived_total = 0
+    for name, model in family.items():
+        manager.subscribe(name, OptimizationPipeline.standard(bit_widths=bit_widths, sparsities=sparsities))
+        base, derived = manager.register_and_trigger(model)
+        derived_total += len(derived)
+        for d in range(n_devices):
+            registry.record_deployment(f"dev-{d:05d}", base.version_id)
+    stats = registry.stats()
+    stats["derived_total"] = derived_total
+    return stats
+
+
+def test_e3_registry_population_scaling(benchmark):
+    """Populate the registry for 4 fidelities x (8,4,2)-bit x 2 sparsities, 200 devices."""
+    stats = benchmark.pedantic(
+        _populate, kwargs=dict(n_fidelities=4, bit_widths=(8, 4, 2), sparsities=(0.5, 0.9), n_devices=200),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update({k: v for k, v in stats.items() if k != "by_kind"})
+    # Cloud deployment would manage 1 artifact; here we manage dozens.
+    assert stats["n_versions"] >= 4 * (1 + 5)
+    assert stats["n_deployed_devices"] == 200
+
+
+@pytest.mark.parametrize("n_devices", [10, 100, 1000])
+def test_e3_artifact_count_grows_multiplicatively(n_devices):
+    stats = _populate(n_fidelities=3, bit_widths=(8, 4), sparsities=(0.5,), n_devices=n_devices)
+    assert stats["n_versions"] == 3 * (1 + 3)  # independent of fleet size ...
+    assert stats["n_deployed_devices"] == n_devices  # ... but deployments track every device
+
+
+def test_e3_retraining_retriggers_pipelines(benchmark):
+    """Re-registering the base fires the optimization pipeline and marks stale variants."""
+    registry = ModelRegistry()
+    manager = TriggerManager(registry)
+    from repro.nn import make_mlp
+
+    model = make_mlp(16, 4, hidden=(32,), seed=0, name="retrain-me")
+    manager.subscribe("retrain-me", OptimizationPipeline.standard(bit_widths=(8, 4), sparsities=(0.5,)))
+    manager.register_and_trigger(model)
+
+    def retrain_cycle():
+        retrained = model.clone(copy_weights=True)
+        retrained.layers[0].params["W"] += 0.001
+        base, derived = manager.register_and_trigger(retrained)
+        return len(derived), len(registry.stale_variants("retrain-me"))
+
+    derived_count, stale_count = benchmark(retrain_cycle)
+    assert derived_count == 3
+    assert stale_count >= 3
+    benchmark.extra_info.update({"derived_per_retrain": derived_count})

@@ -1,0 +1,79 @@
+"""E4 (Section III-B): on-device drift detection and telemetry overhead.
+
+Expected shape: drift detectors fire within a few windows of a covariate
+shift with a low false-positive rate before it, and the telemetry payload a
+device uploads is constant-size (sketches), orders of magnitude smaller than
+shipping the raw window data to the cloud.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DriftingStream, DriftSpec, make_gaussian_blobs
+from repro.observability import EdgeMonitor, KSDetector, MMDDetector, PSIDetector, TelemetryRecorder
+
+
+@pytest.fixture(scope="module")
+def drift_setup():
+    ds = make_gaussian_blobs(4000, 10, 4, seed=0)
+    reference = ds.x[:800]
+    stream = DriftingStream(ds, batch_size=128, specs=[DriftSpec(start=15, kind="covariate", magnitude=2.0)], seed=1)
+    windows = [x for x, _, _ in stream.batches(30)]
+    return reference, windows
+
+
+@pytest.mark.parametrize("detector_cls", [KSDetector, PSIDetector, MMDDetector])
+def test_e4_detection_delay_and_fpr(benchmark, drift_setup, detector_cls):
+    reference, windows = drift_setup
+
+    def run():
+        detector = detector_cls(reference)
+        for window in windows:
+            detector.check(window)
+        return detector
+
+    detector = benchmark(run)
+    delay = detector.detection_delay(15)
+    fpr = detector.false_positive_rate(15)
+    benchmark.extra_info.update({"detector": detector_cls.name, "detection_delay_windows": delay, "false_positive_rate": fpr})
+    assert delay is not None and delay <= 5
+    assert fpr <= 0.2
+
+
+def test_e4_telemetry_payload_is_constant_and_small(benchmark):
+    """Telemetry sketch payload stays fixed regardless of query volume."""
+    def run():
+        recorder = TelemetryRecorder("dev-1", model_version="v1", num_classes=10)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = 200
+            recorder.record_batch(rng.uniform(0.001, 0.02, n), rng.uniform(0, 1e-3, n), np.full(n, 2e4), rng.integers(0, 10, n))
+        return recorder
+
+    recorder = benchmark(run)
+    payload = recorder.estimated_payload_bytes()
+    raw_bytes = recorder.n_queries * 10 * 8  # shipping ten float64 features per query instead
+    benchmark.extra_info.update({
+        "n_queries": recorder.n_queries,
+        "payload_bytes": payload,
+        "raw_upload_bytes": raw_bytes,
+        "reduction_factor": raw_bytes / payload,
+    })
+    assert recorder.n_queries == 10000
+    assert payload < 1024
+    assert raw_bytes / payload > 100
+
+
+def test_e4_edge_monitor_throughput(benchmark, drift_setup):
+    """Per-window monitoring cost of the combined EdgeMonitor (drift + telemetry)."""
+    reference, windows = drift_setup
+    monitor = EdgeMonitor("dev-1", reference, reference_predictions=np.zeros(len(reference), dtype=int), num_classes=4, detectors=("ks",))
+
+    def observe():
+        for window in windows[:10]:
+            monitor.observe_window(window, predictions=np.zeros(len(window), dtype=int), latencies=np.full(len(window), 0.01))
+
+    benchmark(observe)
+    benchmark.extra_info["windows_per_call"] = 10

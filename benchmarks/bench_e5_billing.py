@@ -1,0 +1,84 @@
+"""E5 (Section III-C): offline pay-per-query metering overhead and tamper detection.
+
+Expected shape: metering adds microsecond-scale overhead per query (tiny
+compared to model inference), quotas are enforced while fully offline, and
+every tampered ledger (edited, truncated, over-used, rolled back) is rejected
+at reconciliation while honest ledgers are accepted and billed exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.billing import BillingBackend, PricingPlan, QuotaExceededError, UsageLedger
+
+
+@pytest.fixture()
+def enrolled():
+    backend = BillingBackend()
+    backend.register_plan(PricingPlan("vision", price_per_query=0.0015))
+    key = backend.enroll_device("dev-1")
+    ledger = UsageLedger("dev-1", key)
+    # Large prepaid package so benchmark calibration never exhausts the quota.
+    ledger.add_grant(backend.sell_package("dev-1", "vision", 50_000_000), backend_key=backend.signing_key())
+    return backend, ledger
+
+
+def test_e5_metering_overhead_per_query(benchmark, enrolled):
+    _, ledger = enrolled
+
+    def meter_queries():
+        for _ in range(1000):
+            ledger.record_query("vision")
+
+    benchmark(meter_queries)
+    benchmark.extra_info["queries_per_call"] = 1000
+
+
+def test_e5_reconciliation_throughput(benchmark, enrolled):
+    backend, ledger = enrolled
+    for _ in range(5000):
+        ledger.record_query("vision")
+    export = ledger.export()
+
+    result = benchmark(lambda: backend.reconcile(export))
+    assert result.accepted
+    benchmark.extra_info.update({"entries": result.n_entries, "billed": result.billed_amount})
+
+
+def test_e5_offline_quota_enforced_and_tampering_detected(benchmark):
+    def scenario():
+        backend = BillingBackend()
+        backend.register_plan(PricingPlan("vision", price_per_query=0.0015))
+        key = backend.enroll_device("dev-1")
+        ledger = UsageLedger("dev-1", key)
+        ledger.add_grant(backend.sell_package("dev-1", "vision", 500), backend_key=backend.signing_key())
+        denied = 0
+        for _ in range(600):
+            try:
+                ledger.record_query("vision")
+            except QuotaExceededError:
+                denied += 1
+        honest = backend.reconcile(ledger.export())
+        # Tamper 1: rewrite an entry's model name.
+        edited = ledger.export()
+        edited["entries"][10]["model_name"] = "free"
+        tampered_edit = backend.reconcile(edited)
+        # Tamper 2: truncate the ledger after a successful sync (rollback).
+        truncated = ledger.export()
+        truncated["entries"] = truncated["entries"][:100]
+        tampered_rollback = backend.reconcile(truncated)
+        return {
+            "denied": denied,
+            "honest_accepted": honest.accepted,
+            "honest_billed": honest.billed_amount,
+            "edit_detected": not tampered_edit.accepted,
+            "rollback_detected": not tampered_rollback.accepted,
+        }
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert result["denied"] == 100
+    assert result["honest_accepted"] and result["honest_billed"] == pytest.approx(0.75)
+    assert result["edit_detected"] and result["rollback_detected"]
+    benchmark.extra_info.update(result)

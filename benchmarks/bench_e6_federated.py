@@ -1,0 +1,88 @@
+"""E6 (Section III-D): federated vs centralized accuracy, compression, personalization.
+
+Expected shape: FedAvg approaches the centralized upper bound (the gap grows
+as client data becomes more non-IID / alpha shrinks); update compression cuts
+uplink volume by 5-30x at little accuracy cost; local personalization matches
+or beats the global model on each client's own distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_gaussian_blobs, partition_dirichlet
+from repro.federated import FederatedClient, FederatedServer, TopKSparsifier, centralized_baseline, get_compressor
+from repro.nn import make_mlp
+
+
+@pytest.fixture(scope="module")
+def fed_task():
+    ds = make_gaussian_blobs(2400, 12, 5, cluster_std=1.3, seed=0)
+    return ds.split(0.3, seed=0)
+
+
+def _make_clients(train, alpha: float, n_clients: int = 10):
+    parts = partition_dirichlet(train, n_clients, alpha=alpha, seed=1)
+    return [FederatedClient(p, local_epochs=2, lr=0.05, seed=i) for i, p in enumerate(parts)]
+
+
+@pytest.mark.parametrize("alpha", [0.1, 1.0])
+def test_e6_fedavg_vs_centralized(benchmark, fed_task, alpha):
+    train, test = fed_task
+    clients = _make_clients(train, alpha)
+
+    def run():
+        server = FederatedServer(make_mlp(12, 5, hidden=(32, 16), seed=0), clients, eval_data=(test.x, test.y))
+        history = server.run(6)
+        return history[-1].global_accuracy
+
+    fed_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    central = centralized_baseline(make_mlp(12, 5, hidden=(32, 16), seed=0), clients, (test.x, test.y), epochs=6)
+    gap = central["accuracy"] - fed_acc
+    benchmark.extra_info.update({"alpha": alpha, "federated_accuracy": fed_acc, "centralized_accuracy": central["accuracy"], "gap": gap})
+    assert fed_acc > 0.6
+    assert gap < 0.3
+
+
+@pytest.mark.parametrize("compressor_name", ["none", "topk", "signsgd", "quantized"])
+def test_e6_compression_communication_tradeoff(benchmark, fed_task, compressor_name):
+    train, test = fed_task
+    clients = _make_clients(train, alpha=1.0, n_clients=8)
+    kwargs = {"fraction": 0.1} if compressor_name == "topk" else ({"bits": 8} if compressor_name == "quantized" else {})
+
+    def run():
+        server = FederatedServer(
+            make_mlp(12, 5, hidden=(32, 16), seed=0),
+            clients,
+            compressor=get_compressor(compressor_name, **kwargs),
+            eval_data=(test.x, test.y),
+        )
+        server.run(4)
+        return server
+
+    server = benchmark.pedantic(run, rounds=1, iterations=1)
+    comm = server.total_communication()
+    acc = server.history[-1].global_accuracy
+    benchmark.extra_info.update({"compressor": compressor_name, "uplink_mb": comm["uplink_mb"], "accuracy": acc})
+    if compressor_name != "none":
+        assert acc > 0.55
+    dense_bytes = server.global_model.get_flat_weights().size * 4 * sum(len(r.participants) for r in server.history)
+    if compressor_name in ("topk", "signsgd"):
+        assert comm["uplink_mb"] * 1e6 < dense_bytes / 4
+
+
+def test_e6_personalization_gain_on_noniid_clients(benchmark, fed_task):
+    train, test = fed_task
+    clients = _make_clients(train, alpha=0.1, n_clients=8)
+
+    def run():
+        server = FederatedServer(make_mlp(12, 5, hidden=(32, 16), seed=0), clients, eval_data=(test.x, test.y))
+        server.run(4)
+        results = server.personalize_all(epochs=3)
+        gains = [r.get("personal_accuracy", 0.0) - r["global_accuracy"] for r in results.values()]
+        return float(np.mean(gains)), float(np.mean([r["global_accuracy"] for r in results.values()]))
+
+    mean_gain, mean_global = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"mean_personalization_gain": mean_gain, "mean_global_local_accuracy": mean_global})
+    assert mean_gain > -0.02

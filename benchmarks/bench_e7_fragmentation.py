@@ -1,0 +1,86 @@
+"""E7 (Section IV): device fragmentation, compatibility-aware lowering, offloading.
+
+Expected shape: a naively exported CNN runs on only part of the device
+catalogue; lowering (BN folding, quantization) and falling back to smaller
+variants restores coverage; offloading / edge-cloud splitting beats both
+all-edge and all-cloud execution whenever the uplink is decent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_digits
+from repro.devices import NetworkCondition, NetworkType, get_profile, list_profiles
+from repro.exchange import CompatibilityChecker, Compiler, from_sequential
+from repro.nn import make_mlp, make_tiny_cnn
+from repro.runtime import OffloadBid, OffloadMarketplace, find_best_split
+
+
+@pytest.fixture(scope="module")
+def kws_cnn():
+    ds = make_synthetic_digits(400, image_size=12, seed=0)
+    model = make_tiny_cnn((12, 12, 1), 10, filters=(8, 16), seed=0, name="e7-cnn")
+    model.fit(ds.x, ds.y, epochs=1, lr=0.005, seed=0)
+    return model
+
+
+def test_e7_fleet_coverage_naive_vs_lowered(benchmark, kws_cnn):
+    profiles = [get_profile(name) for name in list_profiles()]
+    graph = from_sequential(kws_cnn)
+    checker = CompatibilityChecker()
+
+    def coverage():
+        naive = checker.fleet_coverage_fraction(graph, profiles)
+        compiler = Compiler()
+        artifacts, failures = compiler.compile_for_fleet(graph, profiles)
+        # Fallback: profiles that cannot host the CNN get a small MLP variant instead.
+        fallback = make_mlp(12 * 12, 10, hidden=(32,), seed=0, name="e7-fallback")
+        fallback_graph = from_sequential(fallback)
+        recovered = sum(1 for name in failures if checker.check(fallback_graph, get_profile(name)).compatible)
+        lowered_coverage = (len(artifacts) + recovered) / len(profiles)
+        return naive, lowered_coverage
+
+    naive, lowered = benchmark(coverage)
+    benchmark.extra_info.update({"naive_coverage": naive, "lowered_plus_fallback_coverage": lowered})
+    assert naive < 1.0  # fragmentation is real: some targets reject the CNN as-is
+    assert lowered >= naive
+    assert lowered >= 0.8
+
+
+def test_e7_offload_marketplace_latency(benchmark):
+    market = OffloadMarketplace()
+    market.register_bid(OffloadBid("edge-server", get_profile("edge-server"), 0.01, NetworkCondition.of(NetworkType.WIFI)))
+    market.register_bid(OffloadBid("car-gpu", get_profile("phone-flagship"), 0.002, NetworkCondition.of(NetworkType.WIFI)))
+    market.register_bid(OffloadBid("cloud", get_profile("cloud"), 0.001, NetworkCondition.of(NetworkType.CELLULAR)))
+
+    def place_many():
+        decisions = [market.place_workload(flops=5e8, payload_bytes=2e5) for _ in range(100)]
+        return decisions[-1]
+
+    decision = benchmark(place_many)
+    local_compute = 5e8 / get_profile("mcu-m4").peak_flops
+    benchmark.extra_info.update({"chosen": decision.device_id, "offload_latency_s": decision.latency_s, "local_mcu_latency_s": local_compute, "payouts": market.payouts()})
+    assert decision.latency_s < local_compute  # offloading beats running on the MCU
+
+
+@pytest.mark.parametrize("network", [NetworkType.WIFI, NetworkType.CELLULAR, NetworkType.LPWAN])
+def test_e7_edge_cloud_split(benchmark, kws_cnn, network):
+    graph = from_sequential(kws_cnn)
+    condition = NetworkCondition.of(network)
+
+    decision = benchmark(lambda: find_best_split(graph, get_profile("mcu-m4"), get_profile("cloud"), condition))
+    benchmark.extra_info.update(
+        {
+            "network": network,
+            "split_after": decision.split_after,
+            "total_ms": decision.total_latency_s * 1e3,
+            "all_edge_ms": decision.all_edge_latency_s * 1e3,
+            "all_cloud_ms": decision.all_cloud_latency_s * 1e3,
+        }
+    )
+    assert decision.total_latency_s <= decision.all_edge_latency_s + 1e-12
+    assert decision.total_latency_s <= decision.all_cloud_latency_s + 1e-12
+    if network == NetworkType.LPWAN:
+        assert decision.split_after == len(graph) - 1  # terrible uplink -> stay on the edge

@@ -1,0 +1,111 @@
+"""E8 (Section V): model stealing on the edge and the cost of the defences.
+
+Expected shape: with unrestricted local queries an attacker clones the model
+to high agreement; removing soft outputs (top-1 / poisoning) hurts the clone
+more than legitimate accuracy; the static watermark survives pruning and
+8-bit quantization; encryption at rest fully blocks direct theft.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import make_mlp
+from repro.protection import (
+    ExtractionDetector,
+    ModelKeyManager,
+    ProtectedModel,
+    QueryBasedExtractor,
+    StaticWatermarker,
+    direct_theft,
+    evaluate_robustness,
+)
+
+
+@pytest.fixture(scope="module")
+def victim(bench_model):
+    return bench_model
+
+
+def _extract(victim_model, poisoning: str, budget: int, reference_x=None, seed: int = 0):
+    protected = ProtectedModel(victim_model, poisoning=poisoning)
+    extractor = QueryBasedExtractor(
+        lambda: make_mlp(16, 5, hidden=(64, 32), seed=33), query_budget=budget, epochs=6, seed=seed
+    )
+    return protected, extractor
+
+
+@pytest.mark.parametrize("poisoning", ["none", "top1", "reverse_sigmoid"])
+def test_e8_extraction_vs_poisoning(benchmark, victim, bench_task, poisoning):
+    _, test = bench_task
+
+    def attack():
+        protected, extractor = _extract(victim, poisoning, budget=300)
+        result = extractor.run(lambda x: protected.predict_logits(x, "attacker"), (16,), test.x, test.y, reference_x=None)
+        return result, protected
+
+    result, protected = benchmark.pedantic(attack, rounds=1, iterations=1)
+    legit_acc = protected.accuracy(test.x, test.y)
+    benchmark.extra_info.update(
+        {
+            "poisoning": poisoning,
+            "clone_agreement": result.agreement_with_victim,
+            "clone_accuracy": result.surrogate_accuracy,
+            "legitimate_accuracy": legit_acc,
+            "queries": result.n_queries,
+        }
+    )
+    # Defences must not hurt legitimate users.
+    assert legit_acc >= victim.evaluate(test.x, test.y)["accuracy"] - 0.02
+
+
+def test_e8_query_budget_matters(victim, bench_task):
+    """More local (free) queries -> better clone: the paper's edge-risk argument."""
+    _, test = bench_task
+    results = {}
+    for budget in (100, 2000):
+        protected, extractor = _extract(victim, "none", budget=budget, seed=1)
+        res = extractor.run(lambda x: protected.predict_logits(x, "a"), (16,), test.x, test.y, reference_x=None)
+        results[budget] = res.agreement_with_victim
+    assert results[2000] >= results[100] - 0.02
+
+
+def test_e8_watermark_robustness(benchmark, victim, bench_task):
+    train, test = bench_task
+    watermarker = StaticWatermarker(message_bits=48, strength=0.08, seed=2)
+
+    def run():
+        marked, key = watermarker.embed(victim, owner="bench")
+        return evaluate_robustness(
+            watermarker, marked, key, x_finetune=train.x[:300], y_finetune=train.y[:300],
+            prune_sparsities=(0.5,), quant_bits=(8,), finetune_epochs=1,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = rows
+    by_attack = {r["attack"]: r for r in rows}
+    assert by_attack["none"]["bit_error_rate"] == 0.0
+    assert by_attack["quantize"]["matched"] == 1.0
+    assert by_attack["prune"]["matched"] == 1.0
+    # Fidelity: the marked model stays accurate.
+    assert by_attack["none"]["accuracy_after_attack"] > 0.9
+
+
+def test_e8_direct_theft_and_detection(benchmark, victim, bench_task, rng=np.random.default_rng(0)):
+    train, test = bench_task
+
+    def run():
+        keys = ModelKeyManager()
+        blob = keys.wrap_model(victim.to_bytes(), "victim", "dev-1")
+        blocked = direct_theft(victim, encrypted=True) is None
+        detector = ExtractionDetector(train.x, threshold=0.3, seed=0)
+        detector.observe("attacker", rng.uniform(-3, 3, size=(128, 16)))
+        detector.observe("benign", test.x[:128])
+        return blocked, detector.check("attacker"), detector.check("benign"), blob.size_bytes
+
+    blocked, attacker_flagged, benign_flagged, size = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"encryption_blocks_direct_theft": blocked, "attacker_flagged": attacker_flagged, "benign_flagged": benign_flagged, "encrypted_bytes": size}
+    )
+    assert blocked and attacker_flagged and not benign_flagged

@@ -1,0 +1,100 @@
+"""E9 (Section VI): cost of verifiable execution and TEE-based execution.
+
+Paper data points: SafetyNets-style proofs add roughly 5% overhead for
+MNIST/TIMIT-scale models (on the *verifier* side relative to the prover's
+work as batch and model size grow), and MLCapsule-style full-enclave
+execution costs about 2x.  Expected shape here: the verification ratio drops
+as the batch grows (Freivalds is O(n^2) vs O(n^3)); all-inside enclave
+overhead equals the configured slowdown (2x); Slalom-style partitioning is
+cheaper than all-inside for conv nets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_synthetic_digits
+from repro.nn import make_mlp, make_tiny_cnn
+from repro.verification import SimulatedEnclave, TranscriptVerifier, VerifiableExecutor
+
+
+@pytest.fixture(scope="module")
+def mnist_scale_model():
+    """An MNIST-scale MLP (784-256-128-10), the size class the paper quotes."""
+    rng = np.random.default_rng(0)
+    model = make_mlp(784, 10, hidden=(256, 128), seed=0, name="mnist-scale")
+    x = rng.normal(size=(512, 784))
+    return model, x
+
+
+def test_e9_prove_and_verify_overhead(benchmark, mnist_scale_model):
+    model, x = mnist_scale_model
+    executor = VerifiableExecutor(model, seed=0)
+    verifier = TranscriptVerifier(model, expected_root=executor.weight_root, n_trials=8, seed=0)
+
+    def prove_and_verify():
+        transcript = executor.execute(x)
+        return verifier.verify(transcript)
+
+    report = benchmark(prove_and_verify)
+    assert report["valid"]
+    benchmark.extra_info.update(
+        {
+            "prove_time_ms": report["prove_time_s"] * 1e3,
+            "verify_time_ms": report["verify_time_s"] * 1e3,
+            "verify_over_prove_ratio": report["overhead_ratio"],
+            "transcript_kb": report["transcript_bytes"] / 1024,
+            "soundness_error": report["soundness_error"],
+        }
+    )
+
+
+def test_e9_verification_ratio_shrinks_with_batch(mnist_scale_model):
+    """Freivalds verification amortizes: ratio at batch 512 < ratio at batch 16."""
+    model, x = mnist_scale_model
+    ratios = {}
+    for batch in (16, 512):
+        executor = VerifiableExecutor(model, seed=0)
+        verifier = TranscriptVerifier(model, expected_root=executor.weight_root, seed=0)
+        reports = [verifier.verify(executor.execute(x[:batch])) for _ in range(3)]
+        ratios[batch] = float(np.median([r["overhead_ratio"] for r in reports]))
+    assert ratios[512] < ratios[16]
+
+
+def test_e9_tampering_always_caught(benchmark, mnist_scale_model):
+    model, x = mnist_scale_model
+    executor = VerifiableExecutor(model, seed=0)
+    verifier = TranscriptVerifier(model, expected_root=executor.weight_root, n_trials=12, seed=0)
+
+    def tampered_run():
+        transcript = executor.execute(x[:64])
+        transcript.layer_outputs[-1][:, 0] += 3.0
+        return verifier.verify(transcript)
+
+    report = benchmark.pedantic(tampered_run, rounds=1, iterations=1)
+    assert not report["valid"]
+    benchmark.extra_info["soundness_error_bound"] = report["soundness_error"]
+
+
+def test_e9_enclave_overhead_mlcapsule_vs_slalom(benchmark):
+    """All-inside TEE ≈ 2x (MLCapsule); Slalom-style split is cheaper for conv nets."""
+    ds = make_synthetic_digits(128, image_size=12, seed=0)
+    cnn = make_tiny_cnn((12, 12, 1), 10, filters=(8, 16), seed=0)
+    enclave = SimulatedEnclave(slowdown=2.0, masking_overhead_per_byte=1e-10)
+
+    def run():
+        _, all_inside = enclave.run_all_inside(cnn, ds.x[:64])
+        _, slalom = enclave.run_slalom(cnn, ds.x[:64])
+        return all_inside, slalom
+
+    all_inside, slalom = benchmark(run)
+    benchmark.extra_info.update(
+        {
+            "all_inside_overhead_x": all_inside.overhead_factor,
+            "slalom_overhead_x": slalom.overhead_factor,
+            "slalom_masking_kb": slalom.masking_bytes / 1024,
+        }
+    )
+    assert all_inside.overhead_factor == pytest.approx(2.0, rel=0.05)
+    assert slalom.overhead_factor < all_inside.overhead_factor

@@ -1,0 +1,25 @@
+"""Shared fixtures for the experiment benchmarks (E1-E10, see EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_gaussian_blobs
+from repro.nn import make_mlp
+
+
+@pytest.fixture(scope="session")
+def bench_task():
+    """A medium-size classification task shared by several experiments."""
+    ds = make_gaussian_blobs(n_samples=2000, n_features=16, n_classes=5, cluster_std=1.2, seed=0)
+    return ds.split(test_fraction=0.3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_model(bench_task):
+    """A trained base model shared by several experiments."""
+    train, _ = bench_task
+    model = make_mlp(16, 5, hidden=(64, 32), seed=0, name="bench-model")
+    model.fit(train.x, train.y, epochs=8, lr=0.01, seed=0)
+    return model

@@ -1,0 +1,85 @@
+"""Federated predictive maintenance with personalization (paper Section III-D).
+
+Scenario: vibration sensors on many machines detect anomalies.  Raw data
+never leaves a machine; the global model is trained with federated
+averaging under communication compression, clients are selected only when
+charging / on WiFi, and each machine finally personalizes the global model
+to its own vibration signature.
+
+Run with:  python examples/federated_personalization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import ClientData, make_sensor_windows
+from repro.devices import Fleet
+from repro.federated import (
+    EligibilityScheduler,
+    FederatedClient,
+    FederatedServer,
+    TopKSparsifier,
+    centralized_baseline,
+)
+from repro.nn import make_mlp
+
+
+def main() -> None:
+    n_machines = 12
+    window, channels = 32, 3
+    rng = np.random.default_rng(0)
+
+    # Each machine has its own vibration signature -> naturally non-IID data.
+    clients = []
+    eval_x, eval_y = [], []
+    for machine in range(n_machines):
+        signature = float(rng.uniform(-1.0, 1.0))
+        ds = make_sensor_windows(600, window=window, n_channels=channels, anomaly_fraction=0.15,
+                                 machine_signature=signature, seed=machine)
+        train, test = ds.split(0.3, seed=machine)
+        clients.append(FederatedClient(
+            ClientData(client_id=f"dev-{machine:04d}", x=train.x, y=train.y),
+            local_epochs=2, lr=0.05, seed=machine,
+        ))
+        eval_x.append(test.x)
+        eval_y.append(test.y)
+    eval_x = np.concatenate(eval_x)
+    eval_y = np.concatenate(eval_y)
+
+    input_dim = window * channels
+    fleet = Fleet.random(n_machines, seed=3)
+    device_ids = list(fleet.devices)
+    context = {f"dev-{i:04d}": fleet.get(device_ids[i]).context() for i in range(n_machines)}
+
+    # --- federated training with compression + eligibility scheduling -------
+    global_model = make_mlp(input_dim, 2, hidden=(64, 32), seed=0, name="anomaly-detector")
+    server = FederatedServer(
+        global_model,
+        clients,
+        compressor=TopKSparsifier(fraction=0.1),
+        scheduler=EligibilityScheduler(max_clients=6),
+        eval_data=(eval_x, eval_y),
+    )
+    print("federated rounds (only charging / WiFi / idle machines participate):")
+    for result in server.run(6, device_context=context):
+        print(f"  round {result.round_index}: participants={len(result.participants):<3} "
+              f"global_acc={result.global_accuracy:.3f} uplink={result.uplink_bytes / 1024:.1f}KB")
+    print("total communication:", server.total_communication())
+
+    # --- comparison against the (privacy-violating) centralized upper bound --
+    central = centralized_baseline(make_mlp(input_dim, 2, hidden=(64, 32), seed=0), clients, (eval_x, eval_y), epochs=5)
+    print(f"\ncentralized baseline accuracy: {central['accuracy']:.3f} "
+          f"(federated reached {server.history[-1].global_accuracy:.3f} without moving raw data)")
+
+    # --- personalization: each machine overfits to its own signature ---------
+    results = server.personalize_all(epochs=3)
+    gains = [r.get("personal_accuracy", 0.0) - r["global_accuracy"] for r in results.values()]
+    print("\npersonalization (local fine-tuning on each machine):")
+    print(f"  mean local accuracy: global={np.mean([r['global_accuracy'] for r in results.values()]):.3f} "
+          f"personalized={np.mean([r.get('personal_accuracy', 0.0) for r in results.values()]):.3f} "
+          f"(mean gain {np.mean(gains):+.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: train a model, release it, deploy it to a simulated edge fleet.
+
+This walks the full TinyMLOps loop of the paper's Figure 1 in ~60 lines:
+train -> register + optimize variants -> per-device selection & compilation ->
+metered serving with drift monitoring -> telemetry/billing sync -> summary.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PlatformConfig, TinyMLOpsPlatform
+from repro.data import make_gaussian_blobs
+from repro.devices import Fleet
+from repro.nn import make_mlp
+
+
+def main() -> None:
+    # 1. A sensor-classification task and a heterogeneous 30-device fleet.
+    dataset = make_gaussian_blobs(n_samples=1500, n_features=12, n_classes=4, seed=0)
+    train, test = dataset.split(test_fraction=0.3, seed=0)
+    fleet = Fleet.random(30, seed=0)
+    platform = TinyMLOpsPlatform(fleet, PlatformConfig(bit_widths=(8, 4), sparsities=(0.5,), seed=0))
+
+    # 2. Train the base model centrally (the data scientist's job).
+    model = make_mlp(12, 4, hidden=(48, 24), seed=0, name="sensor-classifier")
+    model.fit(train.x, train.y, epochs=8, lr=0.01, seed=0)
+    print(f"base model accuracy: {model.evaluate(test.x, test.y)['accuracy']:.3f}")
+
+    # 3. Release: register it, stamp out quantized/pruned variants, evaluate them.
+    release = platform.release(model, test.x, test.y, watermark_owner="quickstart-co")
+    print("\nvariants:")
+    for record in release["variants"]:
+        print(f"  {record['name']:<28} acc={record['accuracy']:<6} size={record['size_kb']}KB")
+    print("pareto front:", release["pareto_front"])
+
+    # 4. Deploy: per-device context-aware selection + target-aware compilation.
+    deploy = platform.deploy(
+        "sensor-classifier",
+        reference_x=train.x[:300],
+        reference_predictions=model.predict_classes(train.x[:300]),
+        num_classes=4,
+        prepaid_queries=500,
+    )
+    print(f"\ndeployed to {deploy['deployed']}/{len(fleet)} devices; variant mix: {deploy['per_variant']}")
+
+    # 5. Serve production traffic on every device, then sync the online ones.
+    rng = np.random.default_rng(1)
+    for device in fleet:
+        idx = rng.integers(0, len(test.x), size=40)
+        platform.serve(device.device_id, "sensor-classifier", test.x[idx])
+    synced = sum(1 for device in fleet if platform.sync_device(device.device_id).get("synced"))
+    print(f"synced telemetry + usage ledgers from {synced} online devices")
+
+    # 6. Fleet health and platform summary.
+    health = platform.fleet_health()
+    print("\nfleet health:", {k: round(v, 4) if isinstance(v, float) else v for k, v in health["metrics"].items()})
+    print("alerts:", health["alerts"] or "none")
+    print("\nplatform summary:")
+    for key, value in platform.summary().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

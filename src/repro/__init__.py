@@ -1,0 +1,28 @@
+"""repro: a TinyMLOps platform for simulated edge fleets.
+
+Reproduction of Leroux et al., *TinyMLOps: Operational Challenges for
+Widespread Edge AI Adoption* (2022, arXiv:2203.10923).  The paper is a
+position paper; this library implements the platform it calls for, plus all
+substrates (NumPy NN engine, device fleet simulator, graph IR/compiler,
+portable runtime) needed to study every challenge it enumerates.
+
+Subpackages
+-----------
+``repro.nn``            NumPy neural-network engine
+``repro.data``          synthetic datasets, drift, federated partitioning
+``repro.exchange``      graph IR, compiler passes, device compatibility
+``repro.devices``       device profiles, cost/battery/network models, fleets
+``repro.runtime``       portable modules, pipelines, sandbox, orchestration
+``repro.registry``      model store, versioning, lineage, triggers
+``repro.optimize``      quantization, pruning, distillation, Pareto search
+``repro.observability`` drift detection, telemetry, sketches, privacy
+``repro.billing``       pay-per-query metering and reconciliation
+``repro.federated``     federated learning with compression and scheduling
+``repro.protection``    watermarking, encryption, extraction defences
+``repro.verification``  Freivalds proofs, commitments, simulated TEE
+``repro.core``          model selection and the TinyMLOpsPlatform facade
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Pay-per-query billing: prepaid quotas, tamper-evident offline metering, reconciliation."""
+
+from .backend import BillingBackend, ReconciliationResult
+from .metering import LedgerEntry, PricingPlan, QuotaExceededError, QuotaGrant, UsageLedger
+
+__all__ = [
+    "PricingPlan",
+    "QuotaGrant",
+    "LedgerEntry",
+    "UsageLedger",
+    "QuotaExceededError",
+    "BillingBackend",
+    "ReconciliationResult",
+]

@@ -1,0 +1,167 @@
+"""Backend side of the pay-per-query system: grants, reconciliation, revenue.
+
+The :class:`BillingBackend` is the cloud counterpart of the on-device
+:class:`~repro.billing.metering.UsageLedger`: it provisions per-device keys,
+sells prepaid packages (issuing signed grants), and at sync time verifies the
+uploaded ledger — detecting tampering (broken MAC chain), over-use (more
+entries than granted), rollback/replay (fewer entries than previously seen)
+— and accumulates revenue and usage reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metering import LedgerEntry, PricingPlan, QuotaGrant, UsageLedger
+
+__all__ = ["ReconciliationResult", "BillingBackend"]
+
+
+@dataclass
+class ReconciliationResult:
+    """Outcome of verifying one device's uploaded usage ledger."""
+
+    device_id: str
+    accepted: bool
+    n_entries: int
+    n_new_entries: int
+    issues: List[str] = field(default_factory=list)
+    billed_amount: float = 0.0
+
+
+class BillingBackend:
+    """Issues quota grants and reconciles device usage ledgers."""
+
+    def __init__(self, master_key: bytes = b"tinymlops-billing-master") -> None:
+        self._master_key = bytes(master_key)
+        self.plans: Dict[str, PricingPlan] = {}
+        self.device_keys: Dict[str, bytes] = {}
+        self.issued_grants: Dict[str, QuotaGrant] = {}
+        self.synced_counts: Dict[str, int] = {}
+        self.revenue: float = 0.0
+        self.reconciliations: List[ReconciliationResult] = []
+        self._grant_counter = 0
+
+    # -- provisioning ------------------------------------------------------
+    def register_plan(self, plan: PricingPlan) -> None:
+        """Register the pricing plan of a model."""
+        self.plans[plan.model_name] = plan
+
+    def enroll_device(self, device_id: str) -> bytes:
+        """Provision (derive) the per-device metering key."""
+        key = hmac.new(self._master_key, f"device:{device_id}".encode(), hashlib.sha256).digest()
+        self.device_keys[device_id] = key
+        return key
+
+    def signing_key(self) -> bytes:
+        """Key used to sign quota grants (shared with devices for verification)."""
+        return hmac.new(self._master_key, b"grant-signing", hashlib.sha256).digest()
+
+    # -- sales --------------------------------------------------------------
+    def sell_package(self, device_id: str, model_name: str, n_queries: int) -> QuotaGrant:
+        """Sell a prepaid package: records revenue and returns the signed grant."""
+        if device_id not in self.device_keys:
+            raise KeyError(f"device {device_id!r} is not enrolled")
+        plan = self.plans.get(model_name)
+        if plan is None:
+            raise KeyError(f"no pricing plan registered for model {model_name!r}")
+        self._grant_counter += 1
+        grant_id = f"grant-{self._grant_counter:06d}"
+        grant = QuotaGrant.sign(grant_id, device_id, model_name, n_queries, self.signing_key())
+        self.issued_grants[grant_id] = grant
+        self.revenue += plan.package_price(n_queries)
+        return grant
+
+    # -- reconciliation ------------------------------------------------------
+    def reconcile(self, ledger_export: Dict[str, object]) -> ReconciliationResult:
+        """Verify an uploaded ledger export and account the usage.
+
+        Checks performed:
+
+        1. the MAC chain verifies under the device's provisioned key;
+        2. every referenced grant was actually issued to this device;
+        3. per-grant usage does not exceed the granted quota;
+        4. the entry count is not lower than at the previous sync (rollback).
+        """
+        device_id = str(ledger_export["device_id"])
+        issues: List[str] = []
+        entries_raw: List[Dict[str, object]] = list(ledger_export.get("entries", []))  # type: ignore[arg-type]
+        key = self.device_keys.get(device_id)
+        if key is None:
+            issues.append("device not enrolled")
+            result = ReconciliationResult(device_id, False, len(entries_raw), 0, issues)
+            self.reconciliations.append(result)
+            return result
+
+        # 1. Recompute the MAC chain.
+        prev_mac = UsageLedger.GENESIS
+        chain_ok = True
+        for i, raw in enumerate(entries_raw):
+            payload = json.dumps(
+                {
+                    "index": raw["index"],
+                    "grant_id": raw["grant_id"],
+                    "model_name": raw["model_name"],
+                    "timestamp": raw["timestamp"],
+                    "prev_mac": prev_mac,
+                },
+                sort_keys=True,
+            ).encode()
+            expected = hmac.new(key, payload, hashlib.sha256).hexdigest()
+            if raw["index"] != i or raw["prev_mac"] != prev_mac or not hmac.compare_digest(expected, str(raw["mac"])):
+                chain_ok = False
+                issues.append(f"MAC chain broken at entry {i}")
+                break
+            prev_mac = str(raw["mac"])
+        if not chain_ok:
+            result = ReconciliationResult(device_id, False, len(entries_raw), 0, issues)
+            self.reconciliations.append(result)
+            return result
+
+        # 2 & 3. Grant validity and per-grant limits.
+        per_grant: Dict[str, int] = {}
+        for raw in entries_raw:
+            per_grant[str(raw["grant_id"])] = per_grant.get(str(raw["grant_id"]), 0) + 1
+        for grant_id, used in per_grant.items():
+            grant = self.issued_grants.get(grant_id)
+            if grant is None or grant.device_id != device_id:
+                issues.append(f"unknown or foreign grant {grant_id}")
+            elif used > grant.n_queries:
+                issues.append(f"grant {grant_id} over-used: {used} > {grant.n_queries}")
+
+        # 4. Rollback detection.
+        previous = self.synced_counts.get(device_id, 0)
+        if len(entries_raw) < previous:
+            issues.append(f"ledger rollback: {len(entries_raw)} entries < previously synced {previous}")
+
+        accepted = not issues
+        n_new = max(0, len(entries_raw) - previous)
+        billed = 0.0
+        if accepted:
+            self.synced_counts[device_id] = len(entries_raw)
+            for raw in entries_raw[previous:]:
+                plan = self.plans.get(str(raw["model_name"]))
+                if plan is not None:
+                    billed += plan.price_per_query
+        result = ReconciliationResult(device_id, accepted, len(entries_raw), n_new, issues, billed_amount=round(billed, 6))
+        self.reconciliations.append(result)
+        return result
+
+    # -- reports ---------------------------------------------------------------
+    def usage_report(self) -> Dict[str, object]:
+        """Aggregate statistics over all reconciliations."""
+        accepted = [r for r in self.reconciliations if r.accepted]
+        rejected = [r for r in self.reconciliations if not r.accepted]
+        return {
+            "n_reconciliations": len(self.reconciliations),
+            "n_accepted": len(accepted),
+            "n_rejected": len(rejected),
+            "total_synced_queries": sum(self.synced_counts.values()),
+            "prepaid_revenue": round(self.revenue, 6),
+            "metered_value": round(sum(r.billed_amount for r in accepted), 6),
+            "tamper_devices": sorted({r.device_id for r in rejected}),
+        }

@@ -1,0 +1,213 @@
+"""Offline pay-per-query metering with tamper-evident usage logs.
+
+Paper Section III-C: a pay-per-query business model "is much more difficult
+to implement as the model is now replicated on a large number of end-user's
+devices that might not even be connected to the internet the moment they are
+evaluating the model.  We could offer prepaid packages where the user
+purchases the right to perform a certain number of model calls.  … Doing
+this in a secure offline way on untrusted hardware is however not trivial."
+
+We implement the practical software-only approximation:
+
+* the backend issues signed :class:`QuotaGrant` tokens (prepaid packages);
+* the on-device :class:`UsageLedger` appends one HMAC-chained entry per
+  query, so any retroactive edit or deletion breaks the chain;
+* quota enforcement denies queries beyond the granted amount while offline;
+* on reconnection the ledger is uploaded and verified by the backend
+  (:class:`BillingBackend`), which detects tampering, double-spends and
+  replay, and produces revenue reports.
+
+A genuinely tamper-*proof* meter requires secure hardware (the paper cites
+an offline-payment system [30]); DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["QuotaGrant", "LedgerEntry", "UsageLedger", "QuotaExceededError", "PricingPlan"]
+
+
+class QuotaExceededError(RuntimeError):
+    """Raised when a device attempts a query beyond its prepaid quota."""
+
+
+@dataclass(frozen=True)
+class PricingPlan:
+    """Per-model pricing: price per query and prepaid package sizes."""
+
+    model_name: str
+    price_per_query: float = 0.0015  # mirrors the $1.50 / 1000 queries example
+    package_sizes: Tuple[int, ...] = (1000, 10000, 100000)
+
+    def package_price(self, n_queries: int) -> float:
+        """Price of a prepaid package of ``n_queries``."""
+        return round(self.price_per_query * n_queries, 6)
+
+
+@dataclass(frozen=True)
+class QuotaGrant:
+    """A signed prepaid package issued by the backend to one device."""
+
+    grant_id: str
+    device_id: str
+    model_name: str
+    n_queries: int
+    signature: str
+
+    def payload(self) -> bytes:
+        return json.dumps(
+            {
+                "grant_id": self.grant_id,
+                "device_id": self.device_id,
+                "model_name": self.model_name,
+                "n_queries": self.n_queries,
+            },
+            sort_keys=True,
+        ).encode()
+
+    @staticmethod
+    def sign(grant_id: str, device_id: str, model_name: str, n_queries: int, key: bytes) -> "QuotaGrant":
+        """Create a grant signed with the backend's key."""
+        unsigned = QuotaGrant(grant_id, device_id, model_name, n_queries, signature="")
+        sig = hmac.new(key, unsigned.payload(), hashlib.sha256).hexdigest()
+        return QuotaGrant(grant_id, device_id, model_name, n_queries, signature=sig)
+
+    def verify(self, key: bytes) -> bool:
+        """Verify the backend signature."""
+        expected = hmac.new(key, self.payload(), hashlib.sha256).hexdigest()
+        return hmac.compare_digest(expected, self.signature)
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One metered query in the hash chain."""
+
+    index: int
+    grant_id: str
+    model_name: str
+    timestamp: float
+    prev_mac: str
+    mac: str
+
+    def payload(self, prev_mac: str) -> bytes:
+        return json.dumps(
+            {
+                "index": self.index,
+                "grant_id": self.grant_id,
+                "model_name": self.model_name,
+                "timestamp": self.timestamp,
+                "prev_mac": prev_mac,
+            },
+            sort_keys=True,
+        ).encode()
+
+
+class UsageLedger:
+    """On-device, append-only, HMAC-chained usage log with quota enforcement.
+
+    The device key is provisioned by the backend at enrollment time.  Every
+    :meth:`record_query` appends an entry whose MAC covers the previous
+    entry's MAC, forming a chain: deleting or editing any entry invalidates
+    all subsequent MACs, which the backend detects at reconciliation.
+    """
+
+    GENESIS = "0" * 64
+
+    def __init__(self, device_id: str, device_key: bytes) -> None:
+        self.device_id = device_id
+        self._key = bytes(device_key)
+        self.entries: List[LedgerEntry] = []
+        self.grants: Dict[str, QuotaGrant] = {}
+        self._used_per_grant: Dict[str, int] = {}
+        self._clock = 0.0
+
+    # -- grants ------------------------------------------------------------
+    def add_grant(self, grant: QuotaGrant, backend_key: Optional[bytes] = None) -> None:
+        """Install a prepaid package.  Optionally verify the backend signature."""
+        if grant.device_id != self.device_id:
+            raise ValueError("grant issued to a different device")
+        if backend_key is not None and not grant.verify(backend_key):
+            raise ValueError("invalid grant signature")
+        if grant.grant_id in self.grants:
+            raise ValueError(f"grant {grant.grant_id} already installed")
+        self.grants[grant.grant_id] = grant
+        self._used_per_grant[grant.grant_id] = 0
+
+    def remaining(self, model_name: Optional[str] = None) -> int:
+        """Remaining prepaid queries (optionally for one model)."""
+        total = 0
+        for grant in self.grants.values():
+            if model_name is not None and grant.model_name != model_name:
+                continue
+            total += max(0, grant.n_queries - self._used_per_grant[grant.grant_id])
+        return total
+
+    # -- metering ---------------------------------------------------------
+    def _next_mac(self, entry_index: int, grant_id: str, model_name: str, timestamp: float, prev_mac: str) -> str:
+        payload = json.dumps(
+            {
+                "index": entry_index,
+                "grant_id": grant_id,
+                "model_name": model_name,
+                "timestamp": timestamp,
+                "prev_mac": prev_mac,
+            },
+            sort_keys=True,
+        ).encode()
+        return hmac.new(self._key, payload, hashlib.sha256).hexdigest()
+
+    def record_query(self, model_name: str, timestamp: Optional[float] = None) -> LedgerEntry:
+        """Meter one query, consuming quota from the oldest matching grant.
+
+        Raises :class:`QuotaExceededError` when no quota remains — the
+        application denies the inference in that case (paper Sec. III-C).
+        """
+        grant_id = None
+        for gid, grant in self.grants.items():
+            if grant.model_name == model_name and self._used_per_grant[gid] < grant.n_queries:
+                grant_id = gid
+                break
+        if grant_id is None:
+            raise QuotaExceededError(f"no remaining quota for model {model_name!r} on {self.device_id}")
+        self._clock += 1.0
+        ts = timestamp if timestamp is not None else self._clock
+        prev_mac = self.entries[-1].mac if self.entries else self.GENESIS
+        index = len(self.entries)
+        mac = self._next_mac(index, grant_id, model_name, ts, prev_mac)
+        entry = LedgerEntry(index=index, grant_id=grant_id, model_name=model_name, timestamp=ts, prev_mac=prev_mac, mac=mac)
+        self.entries.append(entry)
+        self._used_per_grant[grant_id] += 1
+        return entry
+
+    def used(self, model_name: Optional[str] = None) -> int:
+        """Number of metered queries (optionally per model)."""
+        if model_name is None:
+            return len(self.entries)
+        return sum(1 for e in self.entries if e.model_name == model_name)
+
+    # -- verification -----------------------------------------------------
+    def verify_chain(self, key: Optional[bytes] = None) -> bool:
+        """Recompute every MAC; False if any entry was altered or removed."""
+        key = key if key is not None else self._key
+        prev_mac = self.GENESIS
+        for i, entry in enumerate(self.entries):
+            if entry.index != i or entry.prev_mac != prev_mac:
+                return False
+            expected = hmac.new(key, entry.payload(prev_mac), hashlib.sha256).hexdigest()
+            if not hmac.compare_digest(expected, entry.mac):
+                return False
+            prev_mac = entry.mac
+        return True
+
+    def export(self) -> Dict[str, object]:
+        """Serializable sync payload (entries + installed grants)."""
+        return {
+            "device_id": self.device_id,
+            "entries": [e.__dict__ for e in self.entries],
+            "grants": {gid: g.__dict__ for gid, g in self.grants.items()},
+        }

@@ -1,0 +1,12 @@
+"""Core TinyMLOps platform: model selection policy and the end-to-end facade."""
+
+from .platform import PlatformConfig, TinyMLOpsPlatform
+from .selection import ModelSelector, SelectionPolicy, SelectionResult
+
+__all__ = [
+    "TinyMLOpsPlatform",
+    "PlatformConfig",
+    "ModelSelector",
+    "SelectionPolicy",
+    "SelectionResult",
+]

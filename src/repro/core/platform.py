@@ -1,0 +1,341 @@
+"""The TinyMLOps platform facade: Figure 1 of the paper as one object.
+
+:class:`TinyMLOpsPlatform` wires together every subsystem (registry,
+optimization, compilation, fleet management, observability, billing,
+federated learning, IP protection, verifiable execution) and exposes the
+end-to-end workflows a platform user would call:
+
+* :meth:`release`   — register a trained model and stamp out optimized
+  variants (Section III-A: version management + optimization pipeline).
+* :meth:`deploy`    — select a variant per device context, compile for the
+  device profile, install it, record the deployment (Sections III-A, IV).
+* :meth:`serve`     — simulate production traffic on a device: metering
+  (III-C), telemetry + drift monitoring (III-B), battery accounting.
+* :meth:`sync_device` — upload telemetry and the usage ledger when the
+  device has connectivity; reconcile billing.
+* :meth:`federated_update` — run federated rounds over eligible devices
+  (III-D).
+* :meth:`protect`   — watermark + encrypt artifacts for a device (V).
+* :meth:`verify_inference` — produce and check an execution transcript (VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.billing import BillingBackend, PricingPlan, QuotaExceededError, UsageLedger
+from repro.devices import CostModel, EdgeDevice, Fleet, NetworkCondition, get_profile
+from repro.exchange import Compiler, from_sequential
+from repro.federated import (
+    EligibilityScheduler,
+    FederatedClient,
+    FederatedServer,
+    get_compressor,
+)
+from repro.nn.model import Sequential
+from repro.observability import AlertEngine, EdgeMonitor, TelemetryAggregator
+from repro.optimize import ModelVariant, VariantGenerator, pareto_front
+from repro.protection import ModelKeyManager, ProtectedModel, StaticWatermarker
+from repro.registry import ModelRegistry, OptimizationPipeline, TriggerManager
+from repro.runtime import Orchestrator, Pipeline, model_module, softmax_module
+from repro.verification import TranscriptVerifier, VerifiableExecutor
+
+from .selection import ModelSelector, SelectionPolicy
+
+__all__ = ["PlatformConfig", "TinyMLOpsPlatform"]
+
+
+@dataclass
+class PlatformConfig:
+    """Tunable knobs of the platform facade."""
+
+    bit_widths: Tuple[int, ...] = (8, 4)
+    sparsities: Tuple[float, ...] = (0.5,)
+    price_per_query: float = 0.0015
+    watermark_bits: int = 32
+    telemetry_detectors: Tuple[str, ...] = ("ks",)
+    federated_compressor: str = "topk"
+    federated_fraction: float = 0.3
+    seed: int = 0
+
+
+class TinyMLOpsPlatform:
+    """End-to-end TinyMLOps control plane over a simulated fleet."""
+
+    def __init__(self, fleet: Fleet, config: Optional[PlatformConfig] = None) -> None:
+        self.fleet = fleet
+        self.config = config or PlatformConfig()
+        # Subsystems (the blocks of Figure 1).
+        self.registry = ModelRegistry()
+        self.triggers = TriggerManager(self.registry)
+        self.compiler = Compiler()
+        self.cost_model = CostModel()
+        self.selector = ModelSelector(self.cost_model)
+        self.orchestrator = Orchestrator(fleet)
+        self.telemetry = TelemetryAggregator()
+        self.alerts = AlertEngine.default_rules()
+        self.billing = BillingBackend()
+        self.keys = ModelKeyManager()
+        self.watermarker = StaticWatermarker(message_bits=self.config.watermark_bits, seed=self.config.seed)
+        # Per-device state the platform tracks.
+        self.monitors: Dict[str, EdgeMonitor] = {}
+        self.ledgers: Dict[str, UsageLedger] = {}
+        self.deployed_models: Dict[str, Sequential] = {}
+        self.variants: Dict[str, List[ModelVariant]] = {}
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    def _log(self, kind: str, **details: object) -> None:
+        self.events.append({"event": kind, **details})
+
+    # ------------------------------------------------------------------
+    # release: registry + optimization pipeline (Sec. III-A)
+    # ------------------------------------------------------------------
+    def release(
+        self,
+        model: Sequential,
+        x_eval: np.ndarray,
+        y_eval: np.ndarray,
+        watermark_owner: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Register a trained model, generate and evaluate optimized variants."""
+        if watermark_owner:
+            model, wm_key = self.watermarker.embed(model, owner=watermark_owner)
+            model.name = model.name.replace("-wm", "")
+            self._log("watermarked", model=model.name, owner=watermark_owner)
+        pipeline = OptimizationPipeline.standard(
+            bit_widths=self.config.bit_widths, sparsities=self.config.sparsities
+        )
+        self.triggers.subscribe(model.name, pipeline)
+        base_version, derived = self.triggers.register_and_trigger(model)
+        profiles = sorted({d.profile for d in self.fleet}, key=lambda p: p.name)
+        generator = VariantGenerator(self.cost_model)
+        variants = generator.generate(
+            model,
+            x_eval,
+            y_eval,
+            profiles,
+            bit_widths=self.config.bit_widths,
+            sparsities=self.config.sparsities,
+        )
+        self.variants[model.name] = variants
+        self.deployed_models[model.name] = model
+        self.billing.register_plan(PricingPlan(model.name, price_per_query=self.config.price_per_query))
+        self._log("released", model=model.name, base_version=base_version.version_id, n_variants=len(variants))
+        return {
+            "base_version": base_version.version_id,
+            "derived_versions": [v.version_id for v in derived],
+            "variants": [v.record() for v in variants],
+            "pareto_front": [v.name for v in pareto_front(variants)],
+        }
+
+    # ------------------------------------------------------------------
+    # deploy: per-device selection + compilation + installation (Sec. III-A, IV)
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        model_name: str,
+        reference_x: Optional[np.ndarray] = None,
+        reference_predictions: Optional[np.ndarray] = None,
+        num_classes: int = 0,
+        prepaid_queries: int = 1000,
+        device_ids: Optional[Sequence[str]] = None,
+    ) -> Dict[str, object]:
+        """Roll the released model out to the fleet, device by device."""
+        if model_name not in self.variants:
+            raise KeyError(f"model {model_name!r} has not been released")
+        variants = self.variants[model_name]
+        targets = [self.fleet.get(d) for d in device_ids] if device_ids else list(self.fleet)
+        per_variant: Dict[str, int] = {}
+        failures: List[str] = []
+        for device in targets:
+            result = self.selector.select(
+                variants, device.profile, network=device.network, context=device.context()
+            )
+            if result.chosen is None:
+                failures.append(device.device_id)
+                continue
+            chosen = result.chosen
+            graph = from_sequential(chosen.model)
+            try:
+                artifact = self.compiler.compile(graph, device.profile, bits=chosen.bits)
+            except Exception:
+                failures.append(device.device_id)
+                continue
+            pipeline = Pipeline([model_module(chosen.model, bits=chosen.bits), softmax_module()], name=model_name, version=chosen.name)
+            decisions = self.orchestrator.place(pipeline, [device.device_id])
+            if not decisions[0].placed:
+                failures.append(device.device_id)
+                continue
+            per_variant[chosen.name] = per_variant.get(chosen.name, 0) + 1
+            # Registry deployment record.
+            version = self.registry.latest(model_name, kind="base")
+            self.registry.record_deployment(device.device_id, version.version_id)
+            # Observability: per-device monitor seeded with reference data.
+            if reference_x is not None:
+                self.monitors[device.device_id] = EdgeMonitor(
+                    device.device_id,
+                    reference_x,
+                    reference_predictions=reference_predictions,
+                    num_classes=num_classes,
+                    detectors=self.config.telemetry_detectors,
+                    model_version=chosen.name,
+                )
+            # Billing: enroll and sell the initial prepaid package.
+            key = self.billing.enroll_device(device.device_id)
+            ledger = UsageLedger(device.device_id, key)
+            ledger.add_grant(
+                self.billing.sell_package(device.device_id, model_name, prepaid_queries),
+                backend_key=self.billing.signing_key(),
+            )
+            self.ledgers[device.device_id] = ledger
+        summary = {
+            "deployed": sum(per_variant.values()),
+            "failed": len(failures),
+            "per_variant": per_variant,
+            "failures": failures,
+        }
+        self._log("deployed", model=model_name, **{k: v for k, v in summary.items() if k != "failures"})
+        return summary
+
+    # ------------------------------------------------------------------
+    # serve: metered, monitored inference on one device (Sec. III-B, III-C)
+    # ------------------------------------------------------------------
+    def serve(self, device_id: str, model_name: str, x: np.ndarray) -> Dict[str, object]:
+        """Simulate a window of production queries on a device."""
+        device = self.fleet.get(device_id)
+        model = self.deployed_models[model_name]
+        ledger = self.ledgers.get(device_id)
+        monitor = self.monitors.get(device_id)
+        served = 0
+        denied = 0
+        battery_failures = 0
+        cost = self.cost_model.model_inference_cost(device.profile, model)
+        preds = model.predict_classes(x)
+        for _ in range(x.shape[0]):
+            if ledger is not None:
+                try:
+                    ledger.record_query(model_name)
+                except QuotaExceededError:
+                    denied += 1
+                    continue
+            if not device.execute(cost, record=False):
+                battery_failures += 1
+                continue
+            served += 1
+        if monitor is not None and served:
+            monitor.observe_window(
+                x,
+                predictions=preds,
+                latencies=np.full(served, cost.latency_s),
+                energies=np.full(served, cost.energy_j),
+                memories=np.full(served, cost.peak_memory_bytes),
+            )
+        return {
+            "served": served,
+            "denied_quota": denied,
+            "battery_failures": battery_failures,
+            "drift_detected": bool(monitor.any_drift()) if monitor is not None else False,
+        }
+
+    # ------------------------------------------------------------------
+    # sync: telemetry upload + billing reconciliation (Sec. III-B, III-C)
+    # ------------------------------------------------------------------
+    def sync_device(self, device_id: str) -> Dict[str, object]:
+        """Upload telemetry and the usage ledger when the device is online."""
+        device = self.fleet.get(device_id)
+        if not device.network.online:
+            return {"synced": False, "reason": "offline"}
+        result: Dict[str, object] = {"synced": True}
+        monitor = self.monitors.get(device_id)
+        if monitor is not None:
+            self.telemetry.ingest(monitor.build_report())
+            result["telemetry_bytes"] = monitor.telemetry.estimated_payload_bytes()
+        ledger = self.ledgers.get(device_id)
+        if ledger is not None:
+            reconciliation = self.billing.reconcile(ledger.export())
+            result["billing_accepted"] = reconciliation.accepted
+            result["billed_amount"] = reconciliation.billed_amount
+        return result
+
+    def fleet_health(self) -> Dict[str, object]:
+        """Aggregate health metrics + alerts across synced telemetry."""
+        summary = self.telemetry.fleet_summary()
+        drifted = sum(1 for m in self.monitors.values() if m.any_drift())
+        metrics = dict(summary)
+        metrics["drift_fraction"] = drifted / max(len(self.monitors), 1)
+        alerts = self.alerts.evaluate(metrics)
+        return {"metrics": metrics, "alerts": [a.rule for a in alerts]}
+
+    # ------------------------------------------------------------------
+    # federated retraining (Sec. III-D)
+    # ------------------------------------------------------------------
+    def federated_update(
+        self,
+        model_name: str,
+        client_data: Sequence,
+        rounds: int = 3,
+        eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        local_epochs: int = 1,
+        lr: float = 0.05,
+    ) -> Dict[str, object]:
+        """Run federated rounds over eligible devices and re-register the model."""
+        model = self.deployed_models[model_name]
+        clients = [
+            FederatedClient(cd, local_epochs=local_epochs, lr=lr, seed=self.config.seed + i)
+            for i, cd in enumerate(client_data)
+        ]
+        context = {c.client_id: self.fleet.get(c.client_id).context() for c in clients if c.client_id in self.fleet.devices}
+        scheduler = EligibilityScheduler(max_clients=max(2, int(self.config.federated_fraction * len(clients))))
+        server = FederatedServer(
+            model,
+            clients,
+            compressor=get_compressor(self.config.federated_compressor, fraction=0.1)
+            if self.config.federated_compressor == "topk"
+            else get_compressor(self.config.federated_compressor),
+            scheduler=scheduler if context else None,
+            eval_data=eval_data,
+        )
+        history = server.run(rounds, device_context=context if context else None)
+        new_version = self.registry.register_model(model, kind="federated", parents=(self.registry.latest(model_name, kind="base").version_id,), tags={"rounds": rounds})
+        self._log("federated_update", model=model_name, rounds=rounds, final_accuracy=history[-1].global_accuracy if history else 0.0)
+        return {
+            "rounds": [r.as_dict() for r in history],
+            "communication": server.total_communication(),
+            "new_version": new_version.version_id,
+        }
+
+    # ------------------------------------------------------------------
+    # protection / verification (Sec. V, VI)
+    # ------------------------------------------------------------------
+    def protect(self, model_name: str, device_id: str, poisoning: str = "round") -> Dict[str, object]:
+        """Encrypt the artifact for one device and wrap serving with poisoning."""
+        model = self.deployed_models[model_name]
+        blob = self.keys.wrap_model(model.to_bytes(), model_name, device_id)
+        protected = ProtectedModel(model, poisoning=poisoning)
+        self._log("protected", model=model_name, device=device_id, poisoning=poisoning)
+        return {"encrypted_bytes": blob.size_bytes, "protected_model": protected}
+
+    def verify_inference(self, model_name: str, x: np.ndarray) -> Dict[str, object]:
+        """Produce and verify an execution transcript for a batch."""
+        model = self.deployed_models[model_name]
+        executor = VerifiableExecutor(model, seed=self.config.seed)
+        transcript = executor.execute(x)
+        verifier = TranscriptVerifier(model, expected_root=executor.weight_root, seed=self.config.seed)
+        report = verifier.verify(transcript)
+        self._log("verified_inference", model=model_name, valid=report["valid"])
+        return report
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Snapshot of the whole platform state (dashboards / E1)."""
+        return {
+            "fleet": self.fleet.summary(),
+            "registry": self.registry.stats(),
+            "billing": self.billing.usage_report(),
+            "telemetry": self.telemetry.fleet_summary(),
+            "events": len(self.events),
+        }

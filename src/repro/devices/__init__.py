@@ -1,0 +1,38 @@
+"""Simulated edge-device substrate: profiles, cost models, fleets, DES kernel."""
+
+from .battery import Battery, PowerState
+from .cost import CostModel, ExecutionCost, model_flops_and_bytes
+from .events import Event, EventQueue
+from .fleet import EdgeDevice, Fleet, InstalledArtifact
+from .network import ConnectivityTrace, NetworkCondition, NetworkType, transfer_time_s
+from .profiles import (
+    STANDARD_PROFILES,
+    DeviceClass,
+    DeviceProfile,
+    get_profile,
+    list_profiles,
+    random_fleet_profiles,
+)
+
+__all__ = [
+    "Battery",
+    "PowerState",
+    "CostModel",
+    "ExecutionCost",
+    "model_flops_and_bytes",
+    "Event",
+    "EventQueue",
+    "EdgeDevice",
+    "Fleet",
+    "InstalledArtifact",
+    "ConnectivityTrace",
+    "NetworkCondition",
+    "NetworkType",
+    "transfer_time_s",
+    "DeviceClass",
+    "DeviceProfile",
+    "STANDARD_PROFILES",
+    "get_profile",
+    "list_profiles",
+    "random_fleet_profiles",
+]

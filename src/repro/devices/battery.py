@@ -1,0 +1,121 @@
+"""Battery and power-state model for edge devices.
+
+Paper Section III-A: "If the device is connected to an external power
+supply, energy consumption might be less of an issue compared to when it is
+unplugged and has to rely on battery power.  This might mean that a
+different model could be preferred, depending on the battery level."
+
+The :class:`Battery` tracks energy in joules and exposes the state-of-charge
+signals that model selection (:mod:`repro.core.selection`) and federated
+client scheduling (:mod:`repro.federated.scheduling`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Battery", "PowerState"]
+
+
+class PowerState:
+    """Discrete power states a device can report."""
+
+    ON_BATTERY = "on_battery"
+    PLUGGED_IN = "plugged_in"
+    LOW_POWER = "low_power"
+    DEPLETED = "depleted"
+
+
+@dataclass
+class Battery:
+    """Simple energy-bucket battery model.
+
+    Parameters
+    ----------
+    capacity_j:
+        Full capacity in joules.  ``float('inf')`` models mains-powered
+        devices (edge servers, cloud).
+    level_j:
+        Current charge; defaults to full.
+    plugged_in:
+        Whether the device is currently connected to external power.
+    low_power_threshold:
+        State-of-charge fraction below which the device reports
+        :data:`PowerState.LOW_POWER`.
+    charge_rate_w:
+        Charging power applied while plugged in (joules per simulated second).
+    idle_draw_w:
+        Baseline power draw, applied by :meth:`advance`.
+    """
+
+    capacity_j: float = 5000.0
+    level_j: Optional[float] = None
+    plugged_in: bool = False
+    low_power_threshold: float = 0.2
+    charge_rate_w: float = 5.0
+    idle_draw_w: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.level_j is None:
+            self.level_j = self.capacity_j
+        self.level_j = min(self.level_j, self.capacity_j)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def state_of_charge(self) -> float:
+        """Fraction of capacity remaining in [0, 1] (1.0 for mains power)."""
+        if self.capacity_j == float("inf"):
+            return 1.0
+        if self.capacity_j <= 0:
+            return 0.0
+        return max(0.0, min(1.0, self.level_j / self.capacity_j))
+
+    @property
+    def state(self) -> str:
+        """Current :class:`PowerState`."""
+        if self.plugged_in:
+            return PowerState.PLUGGED_IN
+        if self.state_of_charge <= 0.0:
+            return PowerState.DEPLETED
+        if self.state_of_charge < self.low_power_threshold:
+            return PowerState.LOW_POWER
+        return PowerState.ON_BATTERY
+
+    def can_supply(self, energy_j: float) -> bool:
+        """Whether the requested energy can be drawn without depleting."""
+        if self.plugged_in or self.capacity_j == float("inf"):
+            return True
+        return self.level_j >= energy_j
+
+    # -- mutations ---------------------------------------------------------
+    def draw(self, energy_j: float) -> bool:
+        """Consume ``energy_j``; returns False (and drains to 0) if depleted."""
+        if energy_j < 0:
+            raise ValueError("energy draw must be non-negative")
+        if self.plugged_in or self.capacity_j == float("inf"):
+            return True
+        if self.level_j >= energy_j:
+            self.level_j -= energy_j
+            return True
+        self.level_j = 0.0
+        return False
+
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time: apply idle draw or charging."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if self.capacity_j == float("inf"):
+            return
+        if self.plugged_in:
+            self.level_j = min(self.capacity_j, self.level_j + self.charge_rate_w * seconds)
+        else:
+            self.level_j = max(0.0, self.level_j - self.idle_draw_w * seconds)
+
+    def plug(self) -> None:
+        """Connect to external power."""
+        self.plugged_in = True
+
+    def unplug(self) -> None:
+        """Disconnect from external power."""
+        self.plugged_in = False

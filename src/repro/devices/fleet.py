@@ -1,0 +1,219 @@
+"""Edge device runtime state and fleet construction.
+
+A :class:`EdgeDevice` combines a static :class:`DeviceProfile` with dynamic
+state: battery level, current network condition, installed model artifacts,
+local query counters and telemetry hooks.  A :class:`Fleet` is simply a
+collection of devices with helpers for sampling heterogeneous populations
+and iterating over devices matching a predicate (e.g. "currently on WiFi
+and charging" — the federated-client eligibility rule from Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .battery import Battery, PowerState
+from .cost import CostModel, ExecutionCost
+from .network import ConnectivityTrace, NetworkCondition, NetworkType
+from .profiles import DeviceProfile, random_fleet_profiles
+
+__all__ = ["EdgeDevice", "Fleet"]
+
+
+@dataclass
+class InstalledArtifact:
+    """A model (or pipeline) artifact currently installed on a device."""
+
+    artifact_id: str
+    version: str
+    size_bytes: int
+    bits: int = 32
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class EdgeDevice:
+    """Dynamic state of a single simulated edge device."""
+
+    def __init__(
+        self,
+        device_id: str,
+        profile: DeviceProfile,
+        network: Optional[NetworkCondition] = None,
+        battery: Optional[Battery] = None,
+        seed: int = 0,
+        user_id: Optional[str] = None,
+    ) -> None:
+        self.device_id = device_id
+        self.profile = profile
+        self.user_id = user_id or f"user-{device_id}"
+        self.battery = battery or Battery(capacity_j=profile.battery_capacity_j)
+        self.network = network or NetworkCondition.of(NetworkType.WIFI)
+        self.installed: Dict[str, InstalledArtifact] = {}
+        self.query_count = 0
+        self.idle = True
+        self.rng = np.random.default_rng(seed)
+        self._cost_model = CostModel()
+        self.telemetry_log: List[Dict[str, float]] = []
+
+    # -- capabilities ----------------------------------------------------
+    def free_flash(self) -> int:
+        """Flash bytes still available for new artifacts."""
+        used = sum(a.size_bytes for a in self.installed.values())
+        return int(self.profile.flash_bytes - used)
+
+    def can_install(self, size_bytes: int) -> bool:
+        """Whether an artifact of the given size fits in free storage."""
+        return size_bytes <= self.free_flash()
+
+    def install(self, artifact: InstalledArtifact) -> None:
+        """Install (or replace) an artifact; raises if it does not fit."""
+        existing = self.installed.get(artifact.artifact_id)
+        freed = existing.size_bytes if existing else 0
+        if artifact.size_bytes > self.free_flash() + freed:
+            raise MemoryError(
+                f"artifact {artifact.artifact_id} ({artifact.size_bytes} B) does not fit "
+                f"on {self.device_id} (free {self.free_flash() + freed} B)"
+            )
+        self.installed[artifact.artifact_id] = artifact
+
+    def uninstall(self, artifact_id: str) -> None:
+        """Remove an artifact if present."""
+        self.installed.pop(artifact_id, None)
+
+    # -- execution -------------------------------------------------------
+    def execute(self, cost: ExecutionCost, record: bool = True) -> bool:
+        """Account for one model execution: drain battery, log telemetry.
+
+        Returns False when the battery cannot supply the required energy
+        (the inference is considered failed / skipped).
+        """
+        ok = self.battery.draw(cost.energy_j)
+        if ok:
+            self.query_count += 1
+            if record:
+                self.telemetry_log.append(
+                    {
+                        "latency_s": cost.latency_s,
+                        "energy_j": cost.energy_j,
+                        "memory_bytes": cost.peak_memory_bytes,
+                        "soc": self.battery.state_of_charge,
+                    }
+                )
+        return ok
+
+    def run_model(self, model, bits: int = 32) -> Tuple[bool, ExecutionCost]:
+        """Estimate and account the cost of one inference of ``model``."""
+        cost = self._cost_model.model_inference_cost(self.profile, model, bits=bits)
+        return self.execute(cost), cost
+
+    # -- context signals -------------------------------------------------
+    def context(self) -> Dict[str, object]:
+        """Context snapshot used by model selection and client scheduling."""
+        return {
+            "device_id": self.device_id,
+            "device_class": self.profile.device_class,
+            "power_state": self.battery.state,
+            "state_of_charge": self.battery.state_of_charge,
+            "network": self.network.kind,
+            "network_online": self.network.online,
+            "metered": self.network.metered,
+            "idle": self.idle,
+            "free_flash": self.free_flash(),
+        }
+
+    def is_eligible_for_training(self) -> bool:
+        """FedAvg-style eligibility: idle, on unmetered network, charging or well charged."""
+        charged = self.battery.state == PowerState.PLUGGED_IN or self.battery.state_of_charge > 0.6
+        return self.idle and self.network.online and not self.network.metered and charged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeDevice({self.device_id}, {self.profile.name}, soc={self.battery.state_of_charge:.2f})"
+
+
+class Fleet:
+    """A collection of edge devices under management by the platform."""
+
+    def __init__(self, devices: Sequence[EdgeDevice]) -> None:
+        self.devices: Dict[str, EdgeDevice] = {d.device_id: d for d in devices}
+        if len(self.devices) != len(devices):
+            raise ValueError("duplicate device ids in fleet")
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        n_devices: int,
+        mix: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+        connectivity_states: Sequence[str] = (NetworkType.OFFLINE, NetworkType.CELLULAR, NetworkType.WIFI),
+    ) -> "Fleet":
+        """Sample a heterogeneous fleet with randomized battery and network state."""
+        rng = np.random.default_rng(seed)
+        profiles = random_fleet_profiles(n_devices, mix=mix, seed=seed)
+        devices = []
+        for i, profile in enumerate(profiles):
+            battery = Battery(capacity_j=profile.battery_capacity_j)
+            if battery.capacity_j != float("inf"):
+                battery.level_j = battery.capacity_j * rng.uniform(0.2, 1.0)
+                battery.plugged_in = bool(rng.random() < 0.3)
+            net_kind = connectivity_states[int(rng.integers(0, len(connectivity_states)))]
+            device = EdgeDevice(
+                device_id=f"dev-{i:04d}",
+                profile=profile,
+                network=NetworkCondition.of(net_kind),
+                battery=battery,
+                seed=seed + i,
+            )
+            device.idle = bool(rng.random() < 0.7)
+            devices.append(device)
+        return cls(devices)
+
+    # -- access --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[EdgeDevice]:
+        return iter(self.devices.values())
+
+    def get(self, device_id: str) -> EdgeDevice:
+        """Device by id, raising ``KeyError`` if unknown."""
+        return self.devices[device_id]
+
+    def select(self, predicate: Callable[[EdgeDevice], bool]) -> List[EdgeDevice]:
+        """Devices matching a predicate."""
+        return [d for d in self if predicate(d)]
+
+    def by_class(self, device_class: str) -> List[EdgeDevice]:
+        """Devices whose profile belongs to the given class."""
+        return self.select(lambda d: d.profile.device_class == device_class)
+
+    def online(self) -> List[EdgeDevice]:
+        """Devices that currently have connectivity."""
+        return self.select(lambda d: d.network.online)
+
+    def training_eligible(self) -> List[EdgeDevice]:
+        """Devices eligible to participate in a federated round right now."""
+        return self.select(lambda d: d.is_eligible_for_training())
+
+    # -- aggregate statistics -------------------------------------------------
+    def class_histogram(self) -> Dict[str, int]:
+        """Count of devices per device class."""
+        hist: Dict[str, int] = {}
+        for d in self:
+            hist[d.profile.device_class] = hist.get(d.profile.device_class, 0) + 1
+        return hist
+
+    def summary(self) -> Dict[str, object]:
+        """Fleet-level summary used by reports and the platform dashboard."""
+        socs = np.array([d.battery.state_of_charge for d in self], dtype=np.float64)
+        return {
+            "n_devices": len(self),
+            "classes": self.class_histogram(),
+            "online_fraction": len(self.online()) / max(len(self), 1),
+            "training_eligible": len(self.training_eligible()),
+            "mean_soc": float(socs.mean()) if socs.size else 0.0,
+            "total_queries": int(sum(d.query_count for d in self)),
+        }

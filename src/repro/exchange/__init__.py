@@ -1,0 +1,49 @@
+"""Graph IR, compiler passes, device compatibility and target-aware lowering."""
+
+from .analysis import graph_cost, memory_plan, per_node_cost, split_point_costs
+from .compat import CompatibilityChecker, CompatibilityIssue, CompatibilityReport
+from .compiler import CompilationError, CompiledArtifact, Compiler
+from .executor import GraphExecutor, execute_graph
+from .graph import GraphIR, GraphNode, from_sequential
+from .ops import OP_REGISTRY, OpSpec, get_op_spec, infer_shape, op_flops
+from .passes import (
+    PassPipeline,
+    annotate_quantization,
+    eliminate_dropout,
+    expand_fused_activations,
+    fold_batchnorm,
+    fuse_activations,
+    insert_postprocessing,
+    insert_preprocessing,
+)
+
+__all__ = [
+    "GraphIR",
+    "GraphNode",
+    "from_sequential",
+    "GraphExecutor",
+    "execute_graph",
+    "OpSpec",
+    "OP_REGISTRY",
+    "get_op_spec",
+    "infer_shape",
+    "op_flops",
+    "PassPipeline",
+    "fold_batchnorm",
+    "fuse_activations",
+    "expand_fused_activations",
+    "annotate_quantization",
+    "eliminate_dropout",
+    "insert_preprocessing",
+    "insert_postprocessing",
+    "CompatibilityChecker",
+    "CompatibilityIssue",
+    "CompatibilityReport",
+    "Compiler",
+    "CompiledArtifact",
+    "CompilationError",
+    "graph_cost",
+    "memory_plan",
+    "per_node_cost",
+    "split_point_costs",
+]

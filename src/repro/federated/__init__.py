@@ -1,0 +1,47 @@
+"""Federated learning: clients, aggregation, compression, scheduling, personalization."""
+
+from .aggregation import (
+    Aggregator,
+    FedAdamAggregator,
+    FedAvgAggregator,
+    SecureAggregator,
+    TrimmedMeanAggregator,
+)
+from .client import ClientUpdate, FederatedClient
+from .compression import (
+    CompressedUpdate,
+    NoCompression,
+    QuantizedCompressor,
+    SignSGDCompressor,
+    TernaryCompressor,
+    TopKSparsifier,
+    UpdateCompressor,
+    get_compressor,
+)
+from .scheduling import ClientScheduler, EligibilityScheduler, EnergyAwareScheduler, RandomScheduler
+from .server import FederatedServer, RoundResult, centralized_baseline
+
+__all__ = [
+    "FederatedClient",
+    "ClientUpdate",
+    "FederatedServer",
+    "RoundResult",
+    "centralized_baseline",
+    "Aggregator",
+    "FedAvgAggregator",
+    "FedAdamAggregator",
+    "TrimmedMeanAggregator",
+    "SecureAggregator",
+    "UpdateCompressor",
+    "CompressedUpdate",
+    "NoCompression",
+    "TopKSparsifier",
+    "SignSGDCompressor",
+    "TernaryCompressor",
+    "QuantizedCompressor",
+    "get_compressor",
+    "ClientScheduler",
+    "RandomScheduler",
+    "EligibilityScheduler",
+    "EnergyAwareScheduler",
+]

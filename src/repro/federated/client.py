@@ -1,0 +1,170 @@
+"""Federated client: local training, personalization and semi-supervised labeling.
+
+Each :class:`FederatedClient` owns a private :class:`~repro.data.ClientData`
+shard (which never leaves the device), trains the global model locally and
+returns only a (possibly compressed) weight update — the privacy argument of
+paper Section III-D.  The client also implements:
+
+* FedProx's proximal term (mu > 0) to tame non-IID drift,
+* local personalization (continue training privately after a round),
+* pseudo-labeling of the client's unlabeled pool (semi-supervised FL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.federated import ClientData
+from repro.nn.losses import get_loss
+from repro.nn.model import Sequential, batch_iterator
+from repro.nn.optimizers import get_optimizer
+
+__all__ = ["ClientUpdate", "FederatedClient"]
+
+
+@dataclass
+class ClientUpdate:
+    """The result of one local training round on one client."""
+
+    client_id: str
+    delta: np.ndarray
+    n_samples: int
+    local_loss: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class FederatedClient:
+    """On-device trainer for federated rounds."""
+
+    def __init__(
+        self,
+        data: ClientData,
+        local_epochs: int = 1,
+        batch_size: int = 32,
+        lr: float = 0.01,
+        proximal_mu: float = 0.0,
+        optimizer: str = "sgd",
+        seed: int = 0,
+    ) -> None:
+        self.data = data
+        self.local_epochs = int(local_epochs)
+        self.batch_size = int(batch_size)
+        self.lr = float(lr)
+        self.proximal_mu = float(proximal_mu)
+        self.optimizer_name = optimizer
+        self.seed = int(seed)
+        self.personal_model: Optional[Sequential] = None
+
+    @property
+    def client_id(self) -> str:
+        return self.data.client_id
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.data.x.shape[0])
+
+    # ------------------------------------------------------------------
+    # local training
+    # ------------------------------------------------------------------
+    def _local_train(self, model: Sequential, global_weights: np.ndarray) -> float:
+        """Train ``model`` in place on the local shard; returns mean loss."""
+        loss_fn = get_loss("cross_entropy")
+        opt = get_optimizer(self.optimizer_name, lr=self.lr)
+        rng = np.random.default_rng(self.seed)
+        losses: List[float] = []
+        for _epoch in range(self.local_epochs):
+            for xb, yb in batch_iterator(self.data.x, self.data.y, self.batch_size, rng):
+                out = model.forward(xb, training=True)
+                loss, grad = loss_fn(out, yb)
+                model.backward(grad)
+                if self.proximal_mu > 0.0:
+                    # FedProx: add mu * (w - w_global) to every gradient.
+                    offset = 0
+                    current = model.get_flat_weights()
+                    prox = self.proximal_mu * (current - global_weights)
+                    for layer in model.layers:
+                        for key in sorted(layer.params):
+                            size = layer.params[key].size
+                            if key in layer.grads:
+                                layer.grads[key] = layer.grads[key] + prox[offset : offset + size].reshape(
+                                    layer.params[key].shape
+                                )
+                            offset += size
+                    loss += 0.5 * self.proximal_mu * float(np.sum((current - global_weights) ** 2))
+                opt.step(model._param_groups())
+                losses.append(loss)
+        return float(np.mean(losses)) if losses else 0.0
+
+    def train_round(self, global_model: Sequential) -> ClientUpdate:
+        """One federated round: local training, return the weight delta."""
+        if self.n_samples == 0:
+            return ClientUpdate(self.client_id, np.zeros(global_model.get_flat_weights().shape), 0, 0.0)
+        local = global_model.clone(copy_weights=True, name=f"{global_model.name}@{self.client_id}")
+        global_weights = global_model.get_flat_weights()
+        mean_loss = self._local_train(local, global_weights)
+        delta = local.get_flat_weights() - global_weights
+        eval_metrics = local.evaluate(self.data.x, self.data.y)
+        return ClientUpdate(
+            client_id=self.client_id,
+            delta=delta,
+            n_samples=self.n_samples,
+            local_loss=mean_loss,
+            metrics={"local_accuracy": eval_metrics["accuracy"]},
+        )
+
+    # ------------------------------------------------------------------
+    # personalization (paper Sec. III-D, "overfitted to a specific user")
+    # ------------------------------------------------------------------
+    def personalize(self, global_model: Sequential, epochs: int = 3, lr: Optional[float] = None) -> Sequential:
+        """Fine-tune a private copy of the global model on local data only."""
+        personal = global_model.clone(copy_weights=True, name=f"{global_model.name}-personal-{self.client_id}")
+        if self.n_samples > 0:
+            personal.fit(
+                self.data.x,
+                self.data.y,
+                epochs=epochs,
+                batch_size=self.batch_size,
+                lr=lr if lr is not None else self.lr,
+                optimizer="adam",
+                seed=self.seed,
+            )
+        self.personal_model = personal
+        return personal
+
+    def evaluate_models(self, global_model: Sequential) -> Dict[str, float]:
+        """Local-test accuracy of the global vs the personalized model."""
+        out = {"global_accuracy": global_model.evaluate(self.data.x, self.data.y)["accuracy"]}
+        if self.personal_model is not None:
+            out["personal_accuracy"] = self.personal_model.evaluate(self.data.x, self.data.y)["accuracy"]
+        return out
+
+    # ------------------------------------------------------------------
+    # semi-supervised: pseudo-label the unlabeled local pool
+    # ------------------------------------------------------------------
+    def pseudo_label(self, model: Sequential, confidence_threshold: float = 0.8) -> int:
+        """Label confident unlabeled samples with the model's predictions.
+
+        Returns the number of samples promoted into the labeled set.  This is
+        the practical answer to the paper's observation that edge data is
+        mostly unlabeled: the global model itself supplies labels when it is
+        confident enough.
+        """
+        if self.data.x_unlabeled is None or self.data.x_unlabeled.shape[0] == 0:
+            return 0
+        probs = model.predict_proba(self.data.x_unlabeled)
+        confidence = probs.max(axis=1)
+        labels = probs.argmax(axis=1)
+        keep = confidence >= confidence_threshold
+        n_promoted = int(keep.sum())
+        if n_promoted == 0:
+            return 0
+        self.data = ClientData(
+            client_id=self.data.client_id,
+            x=np.concatenate([self.data.x, self.data.x_unlabeled[keep]], axis=0),
+            y=np.concatenate([self.data.y, labels[keep]], axis=0),
+            x_unlabeled=self.data.x_unlabeled[~keep],
+        )
+        return n_promoted

@@ -1,0 +1,164 @@
+"""Federated server: orchestrates rounds, tracks communication and accuracy.
+
+The :class:`FederatedServer` owns the global model and drives rounds:
+select clients (scheduler) → broadcast the global weights → collect locally
+trained updates → optionally compress / securely aggregate → apply the
+aggregated delta → evaluate.  It accounts the bytes exchanged per round so
+experiment E6 can compare compression schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.model import Sequential
+
+from .aggregation import Aggregator, FedAvgAggregator
+from .client import ClientUpdate, FederatedClient
+from .compression import CompressedUpdate, NoCompression, UpdateCompressor
+from .scheduling import ClientScheduler, RandomScheduler
+
+__all__ = ["RoundResult", "FederatedServer", "centralized_baseline"]
+
+
+@dataclass
+class RoundResult:
+    """Metrics of one federated round."""
+
+    round_index: int
+    participants: List[str]
+    train_loss: float
+    global_accuracy: float
+    uplink_bytes: int
+    downlink_bytes: int
+    mean_local_accuracy: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "round": self.round_index,
+            "n_participants": len(self.participants),
+            "train_loss": round(self.train_loss, 4),
+            "global_accuracy": round(self.global_accuracy, 4),
+            "uplink_kb": round(self.uplink_bytes / 1024, 2),
+            "downlink_kb": round(self.downlink_bytes / 1024, 2),
+        }
+
+
+class FederatedServer:
+    """Coordinates federated training across a set of clients."""
+
+    def __init__(
+        self,
+        global_model: Sequential,
+        clients: Sequence[FederatedClient],
+        aggregator: Optional[Aggregator] = None,
+        compressor: Optional[UpdateCompressor] = None,
+        scheduler: Optional[ClientScheduler] = None,
+        eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("at least one client is required")
+        self.global_model = global_model
+        self.clients: Dict[str, FederatedClient] = {c.client_id: c for c in clients}
+        self.aggregator = aggregator or FedAvgAggregator()
+        self.compressor = compressor or NoCompression()
+        self.scheduler = scheduler or RandomScheduler(fraction=1.0)
+        self.eval_data = eval_data
+        self.history: List[RoundResult] = []
+        self._model_bytes = self.global_model.get_flat_weights().size * 4
+
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None) -> RoundResult:
+        """Execute one round and append its result to ``history``."""
+        client_ids = list(self.clients)
+        selected = self.scheduler.select(client_ids, round_index, context=device_context)
+        if not selected:
+            # Nothing eligible this round: record an empty round.
+            result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
+            self.history.append(result)
+            return result
+
+        updates: List[ClientUpdate] = []
+        uplink = 0
+        for cid in selected:
+            update = self.clients[cid].train_round(self.global_model)
+            decompressed, compressed = self.compressor.roundtrip(update.delta)
+            uplink += compressed.nbytes
+            updates.append(
+                ClientUpdate(
+                    client_id=update.client_id,
+                    delta=decompressed,
+                    n_samples=update.n_samples,
+                    local_loss=update.local_loss,
+                    metrics=update.metrics,
+                )
+            )
+        delta = self.aggregator.aggregate(updates)
+        new_weights = self.global_model.get_flat_weights() + delta
+        self.global_model.set_flat_weights(new_weights)
+
+        result = RoundResult(
+            round_index=round_index,
+            participants=selected,
+            train_loss=float(np.mean([u.local_loss for u in updates])),
+            global_accuracy=self._evaluate(),
+            uplink_bytes=int(uplink),
+            downlink_bytes=int(self._model_bytes * len(selected)),
+            mean_local_accuracy=float(np.mean([u.metrics.get("local_accuracy", 0.0) for u in updates])),
+        )
+        self.history.append(result)
+        return result
+
+    def run(self, n_rounds: int, device_context: Optional[Dict[str, Dict[str, object]]] = None) -> List[RoundResult]:
+        """Run ``n_rounds`` federated rounds."""
+        return [self.run_round(r, device_context=device_context) for r in range(n_rounds)]
+
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> float:
+        if self.eval_data is None:
+            return 0.0
+        x, y = self.eval_data
+        return self.global_model.evaluate(x, y)["accuracy"]
+
+    def total_communication(self) -> Dict[str, float]:
+        """Aggregate uplink/downlink volume over all rounds so far."""
+        return {
+            "uplink_mb": sum(r.uplink_bytes for r in self.history) / 1e6,
+            "downlink_mb": sum(r.downlink_bytes for r in self.history) / 1e6,
+            "rounds": float(len(self.history)),
+        }
+
+    def personalize_all(self, epochs: int = 3) -> Dict[str, Dict[str, float]]:
+        """Personalize every client and report global-vs-personal accuracy."""
+        results: Dict[str, Dict[str, float]] = {}
+        for cid, client in self.clients.items():
+            client.personalize(self.global_model, epochs=epochs)
+            results[cid] = client.evaluate_models(self.global_model)
+        return results
+
+
+def centralized_baseline(
+    model: Sequential,
+    clients: Sequence[FederatedClient],
+    eval_data: Tuple[np.ndarray, np.ndarray],
+    epochs: int = 5,
+    lr: float = 0.01,
+    batch_size: int = 32,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Upper-bound baseline: pool all client data centrally and train.
+
+    This is exactly what edge deployment is *not* allowed to do (the data
+    would have to leave the devices); it serves as the accuracy reference
+    that federated learning tries to approach in experiment E6.
+    """
+    x = np.concatenate([c.data.x for c in clients if c.n_samples > 0], axis=0)
+    y = np.concatenate([c.data.y for c in clients if c.n_samples > 0], axis=0)
+    model.fit(x, y, epochs=epochs, lr=lr, batch_size=batch_size, seed=seed)
+    return {
+        "accuracy": model.evaluate(eval_data[0], eval_data[1])["accuracy"],
+        "n_samples": float(x.shape[0]),
+    }

@@ -1,0 +1,148 @@
+"""Activation functions and their derivatives (vectorized NumPy).
+
+Each activation is exposed as a pair ``f(x)`` / ``f_grad(x, y)`` where ``y``
+is the cached forward output.  Passing the forward output to the gradient
+avoids recomputation for activations whose derivative is cheaper to express
+in terms of the output (sigmoid, tanh, softmax).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "leaky_relu",
+    "leaky_relu_grad",
+    "relu6",
+    "relu6_grad",
+    "sigmoid",
+    "sigmoid_grad",
+    "tanh",
+    "tanh_grad",
+    "linear",
+    "linear_grad",
+    "softmax",
+    "log_softmax",
+    "hard_sigmoid",
+    "hard_sigmoid_grad",
+    "get_activation",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit: ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU with respect to its input."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def leaky_relu(x: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Leaky ReLU with negative slope ``alpha``."""
+    return np.where(x > 0.0, x, alpha * x)
+
+
+def leaky_relu_grad(x: np.ndarray, y: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Derivative of leaky ReLU."""
+    return np.where(x > 0.0, 1.0, alpha)
+
+
+def relu6(x: np.ndarray) -> np.ndarray:
+    """ReLU clipped at 6 — the activation used by MobileNet-style edge models."""
+    return np.clip(x, 0.0, 6.0)
+
+
+def relu6_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU6."""
+    return ((x > 0.0) & (x < 6.0)).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Derivative of sigmoid expressed via the cached output ``y``."""
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(x)
+
+
+def tanh_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Derivative of tanh expressed via the cached output ``y``."""
+    return 1.0 - y * y
+
+
+def linear(x: np.ndarray) -> np.ndarray:
+    """Identity activation."""
+    return x
+
+
+def linear_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Derivative of the identity."""
+    return np.ones_like(x)
+
+
+def hard_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Piecewise-linear sigmoid approximation used on integer-only hardware."""
+    return np.clip(0.2 * x + 0.5, 0.0, 1.0)
+
+
+def hard_sigmoid_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Derivative of the hard sigmoid."""
+    return np.where((x > -2.5) & (x < 2.5), 0.2, 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Log-softmax computed without forming intermediate large exponentials."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+ActivationPair = Tuple[Callable[[np.ndarray], np.ndarray], Callable[[np.ndarray, np.ndarray], np.ndarray]]
+
+_REGISTRY: Dict[str, ActivationPair] = {
+    "relu": (relu, relu_grad),
+    "leaky_relu": (leaky_relu, leaky_relu_grad),
+    "relu6": (relu6, relu6_grad),
+    "sigmoid": (sigmoid, sigmoid_grad),
+    "tanh": (tanh, tanh_grad),
+    "linear": (linear, linear_grad),
+    "hard_sigmoid": (hard_sigmoid, hard_sigmoid_grad),
+}
+
+
+def get_activation(name: str) -> ActivationPair:
+    """Return the ``(forward, grad)`` pair registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        If the name is unknown.
+    """
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown activation {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]

@@ -1,0 +1,137 @@
+"""Weight initialization schemes for the NumPy neural-network engine.
+
+All initializers are plain functions taking a shape and a
+:class:`numpy.random.Generator`; they return a freshly allocated
+``float64`` array.  Keeping them functional (rather than stateful objects)
+makes layer construction deterministic and easy to test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "zeros",
+    "ones",
+    "constant",
+    "uniform",
+    "normal",
+    "glorot_uniform",
+    "glorot_normal",
+    "he_uniform",
+    "he_normal",
+    "get_initializer",
+]
+
+Initializer = Callable[[Sequence[int], np.random.Generator], np.ndarray]
+
+
+def _fan_in_out(shape: Sequence[int]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolutional weight shapes.
+
+    Dense weights have shape ``(in, out)``.  Convolution kernels have shape
+    ``(kh, kw, in_channels, out_channels)``; the receptive-field size scales
+    both fans, matching the Glorot/He conventions.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+    fan_in = shape[-2] * receptive
+    fan_out = shape[-1] * receptive
+    return fan_in, fan_out
+
+
+def zeros(shape: Sequence[int], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zero initialization (used for biases and BatchNorm shifts)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Sequence[int], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-one initialization (used for BatchNorm scales)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def constant(value: float) -> Initializer:
+    """Return an initializer that fills the array with ``value``."""
+
+    def _init(shape: Sequence[int], rng: np.random.Generator | None = None) -> np.ndarray:
+        return np.full(shape, float(value), dtype=np.float64)
+
+    return _init
+
+
+def uniform(low: float = -0.05, high: float = 0.05) -> Initializer:
+    """Uniform initializer over ``[low, high)``."""
+
+    def _init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(low, high, size=shape)
+
+    return _init
+
+
+def normal(mean: float = 0.0, std: float = 0.05) -> Initializer:
+    """Gaussian initializer with the given mean and standard deviation."""
+
+    def _init(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(mean, std, size=shape)
+
+    return _init
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suitable for tanh/sigmoid nets."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialization, suitable for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+_REGISTRY: Dict[str, Initializer] = {
+    "zeros": zeros,
+    "ones": ones,
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name_or_fn: str | Initializer) -> Initializer:
+    """Resolve an initializer by name or pass a callable through unchanged.
+
+    Raises
+    ------
+    KeyError
+        If ``name_or_fn`` is a string not present in the registry.
+    """
+    if callable(name_or_fn):
+        return name_or_fn
+    key = str(name_or_fn).lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown initializer {name_or_fn!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]

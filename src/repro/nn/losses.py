@@ -1,0 +1,115 @@
+"""Loss functions with value and gradient in one call.
+
+Every loss returns ``(value, grad)`` where ``grad`` has the shape of the
+predictions and is already averaged over the batch, so it can be fed
+directly into ``Sequential.backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from .activations import log_softmax, softmax
+
+__all__ = [
+    "softmax_cross_entropy",
+    "mse",
+    "mae",
+    "binary_cross_entropy",
+    "distillation_loss",
+    "get_loss",
+]
+
+LossFn = Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]]
+
+
+def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels.astype(int)] = 1.0
+    return out
+
+
+def softmax_cross_entropy(logits: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Softmax cross-entropy.
+
+    ``targets`` may be integer class labels of shape ``(batch,)`` or a
+    probability matrix of shape ``(batch, classes)`` (e.g. soft labels from a
+    teacher model).  The gradient is with respect to the logits.
+    """
+    n, k = logits.shape
+    if targets.ndim == 1:
+        targets = _one_hot(targets, k)
+    log_p = log_softmax(logits, axis=-1)
+    loss = float(-(targets * log_p).sum() / n)
+    grad = (softmax(logits, axis=-1) - targets) / n
+    return loss, grad
+
+
+def mse(pred: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error over all elements."""
+    diff = pred - targets
+    loss = float(np.mean(diff * diff))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def mae(pred: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean absolute error over all elements (sub-gradient at zero is 0)."""
+    diff = pred - targets
+    loss = float(np.mean(np.abs(diff)))
+    grad = np.sign(diff) / diff.size
+    return loss, grad
+
+
+def binary_cross_entropy(pred: np.ndarray, targets: np.ndarray, eps: float = 1e-12) -> Tuple[float, np.ndarray]:
+    """Binary cross-entropy on probabilities in ``(0, 1)``."""
+    p = np.clip(pred, eps, 1.0 - eps)
+    loss = float(-np.mean(targets * np.log(p) + (1.0 - targets) * np.log(1.0 - p)))
+    grad = (p - targets) / (p * (1.0 - p)) / p.size
+    return loss, grad
+
+
+def distillation_loss(
+    student_logits: np.ndarray,
+    teacher_logits: np.ndarray,
+    hard_labels: np.ndarray,
+    temperature: float = 2.0,
+    alpha: float = 0.5,
+) -> Tuple[float, np.ndarray]:
+    """Knowledge-distillation loss mixing soft teacher targets and hard labels.
+
+    ``alpha`` weights the soft (teacher) term; ``1 - alpha`` weights the hard
+    cross-entropy term.  The classic ``T**2`` factor keeps gradient magnitudes
+    comparable across temperatures.
+    """
+    t = float(temperature)
+    soft_targets = softmax(teacher_logits / t, axis=-1)
+    n, k = student_logits.shape
+    log_p_soft = log_softmax(student_logits / t, axis=-1)
+    soft_loss = float(-(soft_targets * log_p_soft).sum() / n) * (t * t)
+    soft_grad = (softmax(student_logits / t, axis=-1) - soft_targets) / n * t
+    hard_loss, hard_grad = softmax_cross_entropy(student_logits, hard_labels)
+    loss = alpha * soft_loss + (1.0 - alpha) * hard_loss
+    grad = alpha * soft_grad + (1.0 - alpha) * hard_grad
+    return loss, grad
+
+
+_REGISTRY: Dict[str, LossFn] = {
+    "softmax_cross_entropy": softmax_cross_entropy,
+    "cross_entropy": softmax_cross_entropy,
+    "mse": mse,
+    "mae": mae,
+    "binary_cross_entropy": binary_cross_entropy,
+}
+
+
+def get_loss(name: str | LossFn) -> LossFn:
+    """Resolve a loss by name, or pass a callable through unchanged."""
+    if callable(name):
+        return name
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown loss {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]

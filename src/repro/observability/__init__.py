@@ -1,0 +1,57 @@
+"""Observability: drift detection, telemetry, sketches, privacy, alerting."""
+
+from .drift import (
+    DriftResult,
+    JSDetector,
+    KSDetector,
+    MMDDetector,
+    PredictionDistributionMonitor,
+    PSIDetector,
+    StreamingDriftDetector,
+    jensen_shannon_divergence,
+    ks_statistic,
+    mmd_rbf,
+    population_stability_index,
+)
+from .monitor import Alert, AlertEngine, AlertRule, EdgeMonitor
+from .privacy import (
+    debias_histogram,
+    epsilon_for_flip_probability,
+    laplace_mechanism,
+    privatize_histogram,
+    randomized_response,
+)
+from .sketches import CountMinSketch, P2Quantile, ReservoirSample, RunningMoments, StreamingHistogram
+from .telemetry import QueryRecord, TelemetryAggregator, TelemetryRecorder, TelemetryReport
+
+__all__ = [
+    "ks_statistic",
+    "population_stability_index",
+    "jensen_shannon_divergence",
+    "mmd_rbf",
+    "DriftResult",
+    "StreamingDriftDetector",
+    "KSDetector",
+    "PSIDetector",
+    "JSDetector",
+    "MMDDetector",
+    "PredictionDistributionMonitor",
+    "EdgeMonitor",
+    "Alert",
+    "AlertRule",
+    "AlertEngine",
+    "QueryRecord",
+    "TelemetryRecorder",
+    "TelemetryReport",
+    "TelemetryAggregator",
+    "RunningMoments",
+    "ReservoirSample",
+    "CountMinSketch",
+    "StreamingHistogram",
+    "P2Quantile",
+    "randomized_response",
+    "privatize_histogram",
+    "debias_histogram",
+    "laplace_mechanism",
+    "epsilon_for_flip_probability",
+]

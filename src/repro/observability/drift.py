@@ -1,0 +1,296 @@
+"""Drift detection: distribution-distance tests between reference and live data.
+
+The core of the observability block of Figure 1: each deployed model ships
+with a reference window (statistics of its training/validation inputs); the
+on-device monitor compares the live input distribution against it and raises
+a drift signal when the distance exceeds a threshold.  Detectors:
+
+* :func:`ks_statistic` / :class:`KSDetector` — Kolmogorov–Smirnov two-sample.
+* :func:`population_stability_index` / :class:`PSIDetector` — the PSI score
+  common in industry monitoring.  Note: with small on-device windows the
+  per-feature maximum PSI is noisy, so the default streaming threshold is
+  raised to 1.0 (large-sample monitoring typically uses 0.2).
+* :func:`jensen_shannon_divergence` / :class:`JSDetector` — histogram-based.
+* :func:`mmd_rbf` / :class:`MMDDetector` — kernel maximum mean discrepancy
+  for multivariate features.
+* :class:`PredictionDistributionMonitor` — drift in the model's *output*
+  distribution (no labels needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "ks_statistic",
+    "population_stability_index",
+    "jensen_shannon_divergence",
+    "mmd_rbf",
+    "DriftResult",
+    "StreamingDriftDetector",
+    "KSDetector",
+    "PSIDetector",
+    "JSDetector",
+    "MMDDetector",
+    "PredictionDistributionMonitor",
+]
+
+
+# ---------------------------------------------------------------------------
+# distance functions
+# ---------------------------------------------------------------------------
+
+def ks_statistic(reference: np.ndarray, live: np.ndarray) -> Tuple[float, float]:
+    """Two-sample KS statistic and p-value on 1-D samples."""
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    cur = np.asarray(live, dtype=np.float64).ravel()
+    if ref.size == 0 or cur.size == 0:
+        return 0.0, 1.0
+    result = stats.ks_2samp(ref, cur, method="asymp")
+    return float(result.statistic), float(result.pvalue)
+
+
+def _histogram_pair(reference: np.ndarray, live: np.ndarray, bins: int) -> Tuple[np.ndarray, np.ndarray]:
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    cur = np.asarray(live, dtype=np.float64).ravel()
+    lo = min(ref.min(), cur.min())
+    hi = max(ref.max(), cur.max())
+    if hi <= lo:
+        hi = lo + 1e-9
+    edges = np.linspace(lo, hi, bins + 1)
+    p, _ = np.histogram(ref, bins=edges)
+    q, _ = np.histogram(cur, bins=edges)
+    return p.astype(np.float64), q.astype(np.float64)
+
+
+def population_stability_index(reference: np.ndarray, live: np.ndarray, bins: int = 10, eps: float = 1e-4) -> float:
+    """PSI between two 1-D samples. Rule of thumb: >0.2 indicates major shift."""
+    p, q = _histogram_pair(reference, live, bins)
+    p = np.clip(p / max(p.sum(), 1.0), eps, None)
+    q = np.clip(q / max(q.sum(), 1.0), eps, None)
+    p /= p.sum()
+    q /= q.sum()
+    return float(np.sum((q - p) * np.log(q / p)))
+
+
+def jensen_shannon_divergence(reference: np.ndarray, live: np.ndarray, bins: int = 32, eps: float = 1e-12) -> float:
+    """Jensen–Shannon divergence (base 2, in [0, 1]) between histogram densities."""
+    p, q = _histogram_pair(reference, live, bins)
+    p = p / max(p.sum(), 1.0) + eps
+    q = q / max(q.sum(), 1.0) + eps
+    p /= p.sum()
+    q /= q.sum()
+    m = 0.5 * (p + q)
+    kl_pm = np.sum(p * np.log2(p / m))
+    kl_qm = np.sum(q * np.log2(q / m))
+    return float(0.5 * kl_pm + 0.5 * kl_qm)
+
+
+def mmd_rbf(reference: np.ndarray, live: np.ndarray, gamma: Optional[float] = None, max_samples: int = 512, seed: int = 0) -> float:
+    """Unbiased-ish squared MMD with an RBF kernel on multivariate samples.
+
+    Subsamples both sets to ``max_samples`` to bound the quadratic cost on
+    device-sized windows; ``gamma`` defaults to the median heuristic.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.asarray(reference, dtype=np.float64)
+    y = np.asarray(live, dtype=np.float64)
+    x = x.reshape(x.shape[0], -1)
+    y = y.reshape(y.shape[0], -1)
+    if x.shape[0] > max_samples:
+        x = x[rng.choice(x.shape[0], max_samples, replace=False)]
+    if y.shape[0] > max_samples:
+        y = y[rng.choice(y.shape[0], max_samples, replace=False)]
+    if x.shape[0] < 2 or y.shape[0] < 2:
+        return 0.0
+
+    def sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        aa = np.sum(a * a, axis=1)[:, None]
+        bb = np.sum(b * b, axis=1)[None, :]
+        return np.maximum(aa + bb - 2.0 * a @ b.T, 0.0)
+
+    dxy = sq_dists(x, y)
+    if gamma is None:
+        med = float(np.median(dxy))
+        gamma = 1.0 / max(med, 1e-12)
+    kxx = np.exp(-gamma * sq_dists(x, x))
+    kyy = np.exp(-gamma * sq_dists(y, y))
+    kxy = np.exp(-gamma * dxy)
+    n, m = x.shape[0], y.shape[0]
+    term_x = (kxx.sum() - np.trace(kxx)) / (n * (n - 1))
+    term_y = (kyy.sum() - np.trace(kyy)) / (m * (m - 1))
+    return float(term_x + term_y - 2.0 * kxy.mean())
+
+
+# ---------------------------------------------------------------------------
+# streaming detectors
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DriftResult:
+    """Outcome of checking one live window against the reference."""
+
+    statistic: float
+    threshold: float
+    drifted: bool
+    detector: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class StreamingDriftDetector:
+    """Base class: holds a reference sample, scores live windows.
+
+    For the univariate detectors (KS, PSI, JS) the reference may be a 2-D
+    ``(n, d)`` feature matrix; the statistic is then computed per feature and
+    the maximum over features is reported, so a shift concentrated in a single
+    feature is not diluted by the others.
+    """
+
+    name = "base"
+
+    def __init__(self, reference: np.ndarray, threshold: float) -> None:
+        self.reference = np.asarray(reference, dtype=np.float64)
+        if self.reference.size == 0:
+            raise ValueError("reference sample must be non-empty")
+        self.threshold = float(threshold)
+        self.history: List[DriftResult] = []
+
+    def score(self, live: np.ndarray) -> float:
+        """Distribution-distance statistic for a live window."""
+        raise NotImplementedError
+
+    def _per_feature_max(self, live: np.ndarray, fn) -> float:
+        """Max of ``fn(ref_col, live_col)`` over feature columns."""
+        ref = self.reference
+        live = np.asarray(live, dtype=np.float64)
+        if ref.ndim == 1 or live.ndim == 1 or ref.shape[1] != live.reshape(live.shape[0], -1).shape[1]:
+            return float(fn(ref.ravel(), live.ravel()))
+        live2 = live.reshape(live.shape[0], -1)
+        return float(max(fn(ref[:, j], live2[:, j]) for j in range(ref.shape[1])))
+
+    def check(self, live: np.ndarray) -> DriftResult:
+        """Score a window, record and return the result."""
+        statistic = self.score(np.asarray(live, dtype=np.float64))
+        result = DriftResult(
+            statistic=statistic,
+            threshold=self.threshold,
+            drifted=statistic > self.threshold,
+            detector=self.name,
+        )
+        self.history.append(result)
+        return result
+
+    def detection_delay(self, drift_start_index: int) -> Optional[int]:
+        """Windows between true drift onset and first detection (None = missed)."""
+        for i, result in enumerate(self.history[drift_start_index:]):
+            if result.drifted:
+                return i
+        return None
+
+    def false_positive_rate(self, drift_start_index: Optional[int] = None) -> float:
+        """Fraction of pre-drift (or all) windows flagged as drifted."""
+        window = self.history if drift_start_index is None else self.history[:drift_start_index]
+        if not window:
+            return 0.0
+        return sum(1 for r in window if r.drifted) / len(window)
+
+
+class KSDetector(StreamingDriftDetector):
+    """KS-statistic detector (max over feature columns for 2-D references)."""
+
+    name = "ks"
+
+    def __init__(self, reference: np.ndarray, threshold: float = 0.25) -> None:
+        ref = np.asarray(reference, dtype=np.float64)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold)
+
+    def score(self, live: np.ndarray) -> float:
+        return self._per_feature_max(live, lambda r, l: ks_statistic(r, l)[0])
+
+
+class PSIDetector(StreamingDriftDetector):
+    """Population-stability-index detector (industry default threshold 0.2)."""
+
+    name = "psi"
+
+    def __init__(self, reference: np.ndarray, threshold: float = 1.0, bins: int = 10) -> None:
+        ref = np.asarray(reference, dtype=np.float64)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold)
+        self.bins = int(bins)
+
+    def score(self, live: np.ndarray) -> float:
+        return self._per_feature_max(
+            live, lambda r, l: population_stability_index(r, l, bins=self.bins)
+        )
+
+
+class JSDetector(StreamingDriftDetector):
+    """Jensen–Shannon-divergence detector (max over feature columns)."""
+
+    name = "js"
+
+    def __init__(self, reference: np.ndarray, threshold: float = 0.25, bins: int = 32) -> None:
+        ref = np.asarray(reference, dtype=np.float64)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold)
+        self.bins = int(bins)
+
+    def score(self, live: np.ndarray) -> float:
+        return self._per_feature_max(
+            live, lambda r, l: jensen_shannon_divergence(r, l, bins=self.bins)
+        )
+
+
+class MMDDetector(StreamingDriftDetector):
+    """Kernel-MMD detector on multivariate feature windows."""
+
+    name = "mmd"
+
+    def __init__(self, reference: np.ndarray, threshold: float = 0.015, max_samples: int = 256, seed: int = 0) -> None:
+        super().__init__(np.asarray(reference), threshold)
+        self.max_samples = int(max_samples)
+        self.seed = int(seed)
+
+    def score(self, live: np.ndarray) -> float:
+        return mmd_rbf(self.reference, live, max_samples=self.max_samples, seed=self.seed)
+
+
+class PredictionDistributionMonitor:
+    """Drift detection on the model's predicted-class distribution.
+
+    Needs no labels and no raw inputs — only the histogram of argmax
+    predictions — so it is the cheapest possible on-device signal.
+    """
+
+    def __init__(self, reference_predictions: np.ndarray, num_classes: int, threshold: float = 0.15, eps: float = 1e-9) -> None:
+        ref = np.bincount(np.asarray(reference_predictions, dtype=int), minlength=num_classes).astype(np.float64)
+        total = ref.sum()
+        if total == 0:
+            raise ValueError("reference predictions must be non-empty")
+        self.reference_dist = ref / total
+        self.num_classes = int(num_classes)
+        self.threshold = float(threshold)
+        self.eps = float(eps)
+        self.history: List[DriftResult] = []
+
+    def check(self, live_predictions: np.ndarray) -> DriftResult:
+        """Jensen–Shannon distance between reference and live class histograms."""
+        live = np.bincount(np.asarray(live_predictions, dtype=int), minlength=self.num_classes).astype(np.float64)
+        live_dist = live / max(live.sum(), 1.0)
+        p = self.reference_dist + self.eps
+        q = live_dist + self.eps
+        p /= p.sum()
+        q /= q.sum()
+        m = 0.5 * (p + q)
+        js = 0.5 * np.sum(p * np.log2(p / m)) + 0.5 * np.sum(q * np.log2(q / m))
+        result = DriftResult(
+            statistic=float(js),
+            threshold=self.threshold,
+            drifted=bool(js > self.threshold),
+            detector="prediction_js",
+        )
+        self.history.append(result)
+        return result

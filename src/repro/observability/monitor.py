@@ -1,0 +1,204 @@
+"""On-device monitor + backend alerting rules.
+
+Ties the observability pieces together: an :class:`EdgeMonitor` wraps a
+deployed model executor with drift detectors, prediction-distribution
+monitoring and a telemetry recorder; :class:`AlertRule` / :class:`AlertEngine`
+turn fleet-level aggregates into actionable alerts (the "detect when the
+model goes wrong" requirement of paper Section III / III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .drift import (
+    DriftResult,
+    JSDetector,
+    KSDetector,
+    MMDDetector,
+    PredictionDistributionMonitor,
+    PSIDetector,
+    StreamingDriftDetector,
+)
+from .telemetry import QueryRecord, TelemetryRecorder, TelemetryReport
+
+__all__ = ["EdgeMonitor", "Alert", "AlertRule", "AlertEngine"]
+
+_DETECTORS = {
+    "ks": KSDetector,
+    "psi": PSIDetector,
+    "js": JSDetector,
+    "mmd": MMDDetector,
+}
+
+
+class EdgeMonitor:
+    """Per-device monitor: input drift, output drift and telemetry.
+
+    Parameters
+    ----------
+    device_id:
+        The device this monitor runs on.
+    reference_inputs:
+        A sample of the model's training/validation inputs (flattened
+        internally), shipped with the deployment manifest.
+    reference_predictions:
+        Predicted classes of the reference inputs (for output-drift checks).
+    num_classes:
+        Number of classes of the deployed classifier.
+    detectors:
+        Which input-drift detectors to run (subset of ks/psi/js/mmd).
+    """
+
+    def __init__(
+        self,
+        device_id: str,
+        reference_inputs: np.ndarray,
+        reference_predictions: Optional[np.ndarray] = None,
+        num_classes: int = 0,
+        detectors: Sequence[str] = ("ks", "psi"),
+        model_version: str = "",
+        thresholds: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.device_id = device_id
+        reference_inputs = np.asarray(reference_inputs, dtype=np.float64)
+        flat_ref = reference_inputs.reshape(reference_inputs.shape[0], -1)
+        self.detectors: Dict[str, StreamingDriftDetector] = {}
+        thresholds = thresholds or {}
+        for name in detectors:
+            if name not in _DETECTORS:
+                raise KeyError(f"unknown detector {name!r}; known: {sorted(_DETECTORS)}")
+            cls = _DETECTORS[name]
+            if name in thresholds:
+                self.detectors[name] = cls(flat_ref, threshold=thresholds[name])
+            else:
+                self.detectors[name] = cls(flat_ref)
+        self.prediction_monitor = (
+            PredictionDistributionMonitor(reference_predictions, num_classes)
+            if reference_predictions is not None and num_classes
+            else None
+        )
+        self.telemetry = TelemetryRecorder(device_id, model_version=model_version, num_classes=num_classes)
+        self.drift_events: List[Dict[str, object]] = []
+
+    # -- per-window processing ------------------------------------------------
+    def observe_window(
+        self,
+        inputs: np.ndarray,
+        predictions: Optional[np.ndarray] = None,
+        latencies: Optional[np.ndarray] = None,
+        energies: Optional[np.ndarray] = None,
+        memories: Optional[np.ndarray] = None,
+    ) -> Dict[str, DriftResult]:
+        """Process one window of on-device traffic; returns per-detector results."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        flat = inputs.reshape(inputs.shape[0], -1)
+        results: Dict[str, DriftResult] = {}
+        for name, detector in self.detectors.items():
+            results[name] = detector.check(flat)
+        if predictions is not None and self.prediction_monitor is not None:
+            results["prediction"] = self.prediction_monitor.check(predictions)
+        if latencies is not None:
+            self.telemetry.record_batch(
+                latencies,
+                energies if energies is not None else np.zeros_like(latencies),
+                memories if memories is not None else np.zeros_like(latencies),
+                predictions,
+            )
+        if any(r.drifted for r in results.values()):
+            self.drift_events.append(
+                {
+                    "window": len(next(iter(self.detectors.values())).history) - 1 if self.detectors else 0,
+                    "detectors": [k for k, r in results.items() if r.drifted],
+                }
+            )
+        return results
+
+    def any_drift(self) -> bool:
+        """Whether any detector has fired so far."""
+        return bool(self.drift_events)
+
+    def build_report(self) -> TelemetryReport:
+        """Telemetry payload for the next sync opportunity."""
+        return self.telemetry.build_report()
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An alert raised by the backend alerting engine."""
+
+    rule: str
+    severity: str
+    message: str
+    context: Tuple[Tuple[str, object], ...] = ()
+
+
+@dataclass
+class AlertRule:
+    """A named predicate over fleet-level summary metrics."""
+
+    name: str
+    predicate: Callable[[Dict[str, float]], bool]
+    severity: str = "warning"
+    message: str = ""
+
+    def evaluate(self, metrics: Dict[str, float]) -> Optional[Alert]:
+        """Return an alert when the predicate fires."""
+        if self.predicate(metrics):
+            return Alert(
+                rule=self.name,
+                severity=self.severity,
+                message=self.message or f"rule {self.name} fired",
+                context=tuple(sorted(metrics.items())),
+            )
+        return None
+
+
+class AlertEngine:
+    """Evaluates alert rules against metric dictionaries and keeps history."""
+
+    def __init__(self, rules: Optional[Sequence[AlertRule]] = None) -> None:
+        self.rules: List[AlertRule] = list(rules or [])
+        self.alerts: List[Alert] = []
+
+    def add_rule(self, rule: AlertRule) -> None:
+        self.rules.append(rule)
+
+    def evaluate(self, metrics: Dict[str, float]) -> List[Alert]:
+        """Run all rules; append and return any alerts raised."""
+        raised = []
+        for rule in self.rules:
+            alert = rule.evaluate(metrics)
+            if alert is not None:
+                raised.append(alert)
+        self.alerts.extend(raised)
+        return raised
+
+    @classmethod
+    def default_rules(cls, latency_budget_s: float = 0.1, drift_rate_threshold: float = 0.2) -> "AlertEngine":
+        """A sensible default rule set for the examples and benchmarks."""
+        return cls(
+            [
+                AlertRule(
+                    name="latency_budget",
+                    predicate=lambda m: m.get("latency_mean", 0.0) > latency_budget_s,
+                    severity="warning",
+                    message="fleet mean latency exceeds budget",
+                ),
+                AlertRule(
+                    name="drift_rate",
+                    predicate=lambda m: m.get("drift_fraction", 0.0) > drift_rate_threshold,
+                    severity="critical",
+                    message="too many devices reporting input drift",
+                ),
+                AlertRule(
+                    name="battery_failures",
+                    predicate=lambda m: m.get("failed_inference_fraction", 0.0) > 0.05,
+                    severity="warning",
+                    message="inference failures due to depleted batteries",
+                ),
+            ]
+        )

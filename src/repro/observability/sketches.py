@@ -1,0 +1,281 @@
+"""Mergeable streaming sketches for on-device statistics.
+
+Paper Section III-B: "We could record some basic statistics on the data
+locally and share these with the cloud in an anonymized way."  Devices have
+kilobytes of RAM, so raw data cannot be buffered; instead each device keeps
+small mergeable summaries that the backend can combine across the fleet:
+
+* :class:`RunningMoments`  — count/mean/variance via Welford, mergeable.
+* :class:`ReservoirSample` — fixed-size uniform sample of a stream.
+* :class:`CountMinSketch`  — approximate frequency counts.
+* :class:`StreamingHistogram` — fixed-bin histogram over a known range.
+* :class:`P2Quantile`      — the P² single-pass quantile estimator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RunningMoments",
+    "ReservoirSample",
+    "CountMinSketch",
+    "StreamingHistogram",
+    "P2Quantile",
+]
+
+
+class RunningMoments:
+    """Streaming count / mean / variance (Welford), mergeable across devices."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, values: Iterable[float] | np.ndarray) -> None:
+        """Add one value or an array of values."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel()
+        for x in arr:  # scalar loop is fine: batches are merged below in bulk
+            self.count += 1
+            delta = x - self.mean
+            self.mean += delta / self.count
+            self._m2 += delta * (x - self.mean)
+
+    def update_batch(self, values: np.ndarray) -> None:
+        """Vectorized bulk update (merges the batch's moments in O(1))."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        other = RunningMoments()
+        other.count = int(arr.size)
+        other.mean = float(arr.mean())
+        other._m2 = float(((arr - other.mean) ** 2).sum())
+        self.merge(other)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of everything seen so far."""
+        return self._m2 / self.count if self.count > 0 else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """In-place merge of another device's moments (parallel Welford)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        self.mean = (self.mean * self.count + other.mean * other.count) / total
+        self.count = total
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": float(self.count), "mean": self.mean, "variance": self.variance}
+
+
+class ReservoirSample:
+    """Uniform random sample of a stream with bounded memory (Algorithm R)."""
+
+    def __init__(self, capacity: int = 256, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.seen = 0
+        self._rng = np.random.default_rng(seed)
+        self._buffer: List[float] = []
+
+    def update(self, values: Iterable[float] | np.ndarray) -> None:
+        """Offer values to the reservoir."""
+        for x in np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel():
+            self.seen += 1
+            if len(self._buffer) < self.capacity:
+                self._buffer.append(float(x))
+            else:
+                j = int(self._rng.integers(0, self.seen))
+                if j < self.capacity:
+                    self._buffer[j] = float(x)
+
+    def values(self) -> np.ndarray:
+        """Current sample as an array."""
+        return np.array(self._buffer, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class CountMinSketch:
+    """Approximate frequency counting with sub-linear memory.
+
+    Used to track categorical statistics (predicted class counts, error
+    codes) on-device; sketches from many devices merge by element-wise
+    addition as long as they share ``(width, depth, seed)``.
+    """
+
+    def __init__(self, width: int = 64, depth: int = 4, seed: int = 0) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self.table = np.zeros((depth, width), dtype=np.int64)
+        self.total = 0
+
+    def _indices(self, item: object) -> np.ndarray:
+        key = repr(item).encode()
+        idx = np.empty(self.depth, dtype=np.int64)
+        for d in range(self.depth):
+            h = hashlib.blake2b(key, digest_size=8, salt=str(self.seed + d).encode()[:16]).digest()
+            idx[d] = int.from_bytes(h, "little") % self.width
+        return idx
+
+    def add(self, item: object, count: int = 1) -> None:
+        """Increment the count of ``item``."""
+        idx = self._indices(item)
+        self.table[np.arange(self.depth), idx] += count
+        self.total += count
+
+    def estimate(self, item: object) -> int:
+        """Point estimate (upper-biased) of an item's count."""
+        idx = self._indices(item)
+        return int(self.table[np.arange(self.depth), idx].min())
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Element-wise merge; sketches must share dimensions and seed."""
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise ValueError("cannot merge sketches with different parameters")
+        self.table += other.table
+        self.total += other.total
+        return self
+
+
+class StreamingHistogram:
+    """Fixed-bin histogram over a known value range; mergeable by addition."""
+
+    def __init__(self, lo: float, hi: float, bins: int = 32) -> None:
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = int(bins)
+        self.counts = np.zeros(bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    def update(self, values: Iterable[float] | np.ndarray) -> None:
+        """Add values (vectorized binning)."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel()
+        if arr.size == 0:
+            return
+        self.underflow += int(np.count_nonzero(arr < self.lo))
+        self.overflow += int(np.count_nonzero(arr >= self.hi))
+        inside = arr[(arr >= self.lo) & (arr < self.hi)]
+        if inside.size:
+            idx = ((inside - self.lo) / (self.hi - self.lo) * self.bins).astype(int)
+            np.add.at(self.counts, np.clip(idx, 0, self.bins - 1), 1)
+
+    def density(self) -> np.ndarray:
+        """Normalized bin probabilities (including clipped tails in the edge bins)."""
+        counts = self.counts.astype(np.float64).copy()
+        counts[0] += self.underflow
+        counts[-1] += self.overflow
+        total = counts.sum()
+        return counts / total if total > 0 else counts
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Merge histograms with identical binning."""
+        if (self.lo, self.hi, self.bins) != (other.lo, other.hi, other.bins):
+            raise ValueError("cannot merge histograms with different binning")
+        self.counts += other.counts
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        return self
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+
+class P2Quantile:
+    """P² single-pass quantile estimator (Jain & Chlamtac, 1985).
+
+    Tracks one quantile (e.g. the p95 latency) using five markers — constant
+    memory, no buffering, exactly what an MCU telemetry agent needs.
+    """
+
+    def __init__(self, quantile: float = 0.95) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = float(quantile)
+        self._initial: List[float] = []
+        self._n: Optional[np.ndarray] = None
+        self._ns: Optional[np.ndarray] = None
+        self._heights: Optional[np.ndarray] = None
+
+    def update(self, values: Iterable[float] | np.ndarray) -> None:
+        """Feed one or more observations."""
+        for x in np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel():
+            self._update_one(float(x))
+
+    def _update_one(self, x: float) -> None:
+        if self._heights is None:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._heights = np.array(sorted(self._initial))
+                self._n = np.arange(1.0, 6.0)
+                self._ns = np.array([1.0, 1 + 2 * self.q, 1 + 4 * self.q, 3 + 2 * self.q, 5.0])
+            return
+        h, n, ns = self._heights, self._n, self._ns
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = int(np.searchsorted(h, x, side="right")) - 1
+            k = min(max(k, 0), 3)
+        n[k + 1 :] += 1.0
+        ns += np.array([0.0, self.q / 2, self.q, (1 + self.q) / 2, 1.0])
+        for i in (1, 2, 3):
+            d = ns[i] - n[i]
+            if (d >= 1 and n[i + 1] - n[i] > 1) or (d <= -1 and n[i - 1] - n[i] < -1):
+                sign = 1.0 if d >= 1 else -1.0
+                # Parabolic prediction, falling back to linear when non-monotone.
+                hp = h[i] + sign / (n[i + 1] - n[i - 1]) * (
+                    (n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                    + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+                )
+                if h[i - 1] < hp < h[i + 1]:
+                    h[i] = hp
+                else:
+                    j = i + int(sign)
+                    h[i] = h[i] + sign * (h[j] - h[i]) / (n[j] - n[i])
+                n[i] += sign
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self._heights is not None:
+            return float(self._heights[2])
+        if not self._initial:
+            return float("nan")
+        return float(np.quantile(np.array(self._initial), self.q))
+
+    @property
+    def count(self) -> int:
+        if self._n is None:
+            return len(self._initial)
+        return int(self._n[4])

@@ -1,0 +1,177 @@
+"""Telemetry recording, aggregation and store-and-forward syncing.
+
+Paper Section III-B: "we are also interested in monitoring the number of
+requests a user has made and the execution time of the model … record the
+actual execution time, memory and energy consumption on the end-user's
+device … store these statistics locally and transmit them to the cloud when
+the device is connected to WiFi."
+
+The :class:`TelemetryRecorder` runs on a (simulated) device with constant
+memory (sketches, not raw logs); :class:`TelemetryAggregator` merges reports
+from many devices on the backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .sketches import CountMinSketch, P2Quantile, RunningMoments, StreamingHistogram
+
+__all__ = ["QueryRecord", "TelemetryRecorder", "TelemetryReport", "TelemetryAggregator"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Raw measurements of one model execution."""
+
+    latency_s: float
+    energy_j: float
+    memory_bytes: float
+    predicted_class: Optional[int] = None
+    model_version: str = ""
+
+
+@dataclass
+class TelemetryReport:
+    """A compact, privacy-preserving telemetry payload sent to the backend."""
+
+    device_id: str
+    model_version: str
+    n_queries: int
+    latency: Dict[str, float]
+    energy: Dict[str, float]
+    memory: Dict[str, float]
+    prediction_histogram: Dict[int, int]
+    payload_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "device_id": self.device_id,
+            "model_version": self.model_version,
+            "n_queries": self.n_queries,
+            "latency": self.latency,
+            "energy": self.energy,
+            "memory": self.memory,
+            "prediction_histogram": self.prediction_histogram,
+        }
+
+
+class TelemetryRecorder:
+    """On-device telemetry agent with constant memory footprint."""
+
+    def __init__(
+        self,
+        device_id: str,
+        model_version: str = "",
+        num_classes: int = 0,
+        latency_p: float = 0.95,
+    ) -> None:
+        self.device_id = device_id
+        self.model_version = model_version
+        self.num_classes = int(num_classes)
+        self._latency = RunningMoments()
+        self._latency_p = P2Quantile(latency_p)
+        self._energy = RunningMoments()
+        self._memory = RunningMoments()
+        self._pred_counts = np.zeros(max(self.num_classes, 1), dtype=np.int64)
+        self.n_queries = 0
+
+    def record(self, record: QueryRecord) -> None:
+        """Record one model execution."""
+        self.n_queries += 1
+        self._latency.update([record.latency_s])
+        self._latency_p.update([record.latency_s])
+        self._energy.update([record.energy_j])
+        self._memory.update([record.memory_bytes])
+        if record.predicted_class is not None and self.num_classes:
+            cls = int(record.predicted_class)
+            if 0 <= cls < self.num_classes:
+                self._pred_counts[cls] += 1
+
+    def record_batch(self, latencies: np.ndarray, energies: np.ndarray, memories: np.ndarray, predictions: Optional[np.ndarray] = None) -> None:
+        """Vectorized bulk recording (used by the fleet simulator)."""
+        latencies = np.asarray(latencies, dtype=np.float64).ravel()
+        self.n_queries += latencies.size
+        self._latency.update_batch(latencies)
+        self._latency_p.update(latencies)
+        self._energy.update_batch(np.asarray(energies, dtype=np.float64).ravel())
+        self._memory.update_batch(np.asarray(memories, dtype=np.float64).ravel())
+        if predictions is not None and self.num_classes:
+            counts = np.bincount(np.asarray(predictions, dtype=int), minlength=self.num_classes)
+            self._pred_counts += counts[: self.num_classes]
+
+    # -- reporting ---------------------------------------------------------
+    def estimated_payload_bytes(self) -> int:
+        """Approximate size of the sync payload (fixed, independent of #queries)."""
+        # 3 moment triplets + quantile + histogram of num_classes int32.
+        return 3 * 3 * 8 + 8 + max(self.num_classes, 1) * 4 + 64
+
+    def build_report(self) -> TelemetryReport:
+        """Snapshot the current statistics into a syncable report."""
+        return TelemetryReport(
+            device_id=self.device_id,
+            model_version=self.model_version,
+            n_queries=self.n_queries,
+            latency={
+                "mean": self._latency.mean,
+                "std": self._latency.std,
+                f"p{int(self._latency_p.q * 100)}": self._latency_p.value,
+            },
+            energy={"mean": self._energy.mean, "total": self._energy.mean * self.n_queries},
+            memory={"mean": self._memory.mean},
+            prediction_histogram={i: int(c) for i, c in enumerate(self._pred_counts) if c > 0},
+            payload_bytes=self.estimated_payload_bytes(),
+        )
+
+    def reset(self) -> None:
+        """Clear statistics after a successful sync."""
+        self.__init__(self.device_id, self.model_version, self.num_classes, self._latency_p.q)
+
+
+class TelemetryAggregator:
+    """Backend-side aggregation of telemetry reports across the fleet."""
+
+    def __init__(self) -> None:
+        self.reports: List[TelemetryReport] = []
+
+    def ingest(self, report: TelemetryReport) -> None:
+        """Accept a report uploaded by a device."""
+        self.reports.append(report)
+
+    def fleet_summary(self, model_version: Optional[str] = None) -> Dict[str, float]:
+        """Query-weighted latency/energy statistics across devices."""
+        reports = [r for r in self.reports if model_version is None or r.model_version == model_version]
+        if not reports:
+            return {"n_devices": 0.0, "n_queries": 0.0}
+        weights = np.array([max(r.n_queries, 1) for r in reports], dtype=np.float64)
+        lat_mean = np.array([r.latency.get("mean", 0.0) for r in reports])
+        energy_mean = np.array([r.energy.get("mean", 0.0) for r in reports])
+        total_w = weights.sum()
+        return {
+            "n_devices": float(len({r.device_id for r in reports})),
+            "n_queries": float(weights.sum()),
+            "latency_mean": float(np.average(lat_mean, weights=weights)),
+            "latency_worst_device": float(lat_mean.max()),
+            "energy_mean": float(np.average(energy_mean, weights=weights)),
+            "total_payload_bytes": float(sum(r.payload_bytes for r in reports)),
+        }
+
+    def slow_devices(self, latency_threshold_s: float) -> List[str]:
+        """Devices whose mean latency exceeds a threshold (performance issues)."""
+        worst: Dict[str, float] = {}
+        for r in self.reports:
+            worst[r.device_id] = max(worst.get(r.device_id, 0.0), r.latency.get("mean", 0.0))
+        return sorted(d for d, v in worst.items() if v > latency_threshold_s)
+
+    def prediction_distribution(self, model_version: Optional[str] = None) -> Dict[int, int]:
+        """Fleet-wide predicted-class histogram (merged from device reports)."""
+        merged: Dict[int, int] = {}
+        for r in self.reports:
+            if model_version is not None and r.model_version != model_version:
+                continue
+            for cls, count in r.prediction_histogram.items():
+                merged[cls] = merged.get(cls, 0) + count
+        return merged

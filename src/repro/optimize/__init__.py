@@ -1,0 +1,45 @@
+"""Model optimization: quantization, pruning, distillation, low-rank, Pareto search."""
+
+from .distillation import distill, soft_label_dataset
+from .lowrank import dense_rank_for_compression, factorize_dense_model
+from .pareto import ModelVariant, VariantGenerator, pareto_front
+from .pruning import (
+    global_magnitude_prune,
+    iterative_prune_finetune,
+    magnitude_prune,
+    sparse_size_bytes,
+    sparsity,
+    structured_prune_dense,
+)
+from .quantization import (
+    QuantizationConfig,
+    calibrate_activation_ranges,
+    dequantize_array,
+    fake_quantize,
+    quantization_error,
+    quantize_array,
+    quantize_model,
+)
+
+__all__ = [
+    "QuantizationConfig",
+    "quantize_array",
+    "dequantize_array",
+    "fake_quantize",
+    "quantize_model",
+    "quantization_error",
+    "calibrate_activation_ranges",
+    "magnitude_prune",
+    "global_magnitude_prune",
+    "structured_prune_dense",
+    "sparsity",
+    "sparse_size_bytes",
+    "iterative_prune_finetune",
+    "distill",
+    "soft_label_dataset",
+    "factorize_dense_model",
+    "dense_rank_for_compression",
+    "ModelVariant",
+    "VariantGenerator",
+    "pareto_front",
+]

@@ -1,0 +1,166 @@
+"""Variant generation and accuracy/size/latency Pareto analysis.
+
+Paper Section III-A: "Instead of training a single model, we might need to
+support multiple models, each with their own computational cost and accuracy
+trade off."  The :class:`VariantGenerator` stamps out quantized / pruned /
+factorized variants of a base model, evaluates each one, and
+:func:`pareto_front` identifies the non-dominated set that the model
+registry should retain and the model-selection policy chooses from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.cost import CostModel
+from repro.devices.profiles import DeviceProfile
+
+from .lowrank import factorize_dense_model
+from .pruning import magnitude_prune, sparse_size_bytes
+from .quantization import QuantizationConfig, quantize_model
+
+__all__ = ["ModelVariant", "VariantGenerator", "pareto_front"]
+
+
+@dataclass
+class ModelVariant:
+    """One optimized variant of a base model, with measured trade-offs."""
+
+    name: str
+    model: object
+    optimization: str
+    bits: int = 32
+    sparsity: float = 0.0
+    accuracy: float = 0.0
+    size_bytes: int = 0
+    latency_s: Dict[str, float] = field(default_factory=dict)
+
+    def record(self) -> Dict[str, object]:
+        """Flat record used in reports and benchmark tables."""
+        return {
+            "name": self.name,
+            "optimization": self.optimization,
+            "bits": self.bits,
+            "sparsity": round(self.sparsity, 3),
+            "accuracy": round(self.accuracy, 4),
+            "size_kb": round(self.size_bytes / 1024, 2),
+            **{f"latency_ms[{k}]": round(v * 1e3, 4) for k, v in self.latency_s.items()},
+        }
+
+
+class VariantGenerator:
+    """Generate and evaluate optimized variants of a trained model."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost_model = cost_model or CostModel()
+
+    def _evaluate(
+        self,
+        variant: ModelVariant,
+        x_eval: np.ndarray,
+        y_eval: np.ndarray,
+        profiles: Sequence[DeviceProfile],
+    ) -> ModelVariant:
+        variant.accuracy = variant.model.evaluate(x_eval, y_eval)["accuracy"]
+        for profile in profiles:
+            cost = self.cost_model.model_inference_cost(profile, variant.model, bits=variant.bits)
+            variant.latency_s[profile.name] = cost.latency_s
+        return variant
+
+    def generate(
+        self,
+        base_model,
+        x_eval: np.ndarray,
+        y_eval: np.ndarray,
+        profiles: Sequence[DeviceProfile],
+        bit_widths: Sequence[int] = (8, 4, 2),
+        sparsities: Sequence[float] = (0.5, 0.75, 0.9),
+        lowrank_compressions: Sequence[float] = (),
+    ) -> List[ModelVariant]:
+        """Produce the baseline + quantized + pruned (+ low-rank) variant set."""
+        variants: List[ModelVariant] = []
+        base = ModelVariant(
+            name=base_model.name,
+            model=base_model,
+            optimization="none",
+            bits=32,
+            size_bytes=base_model.num_params() * 4,
+        )
+        variants.append(self._evaluate(base, x_eval, y_eval, profiles))
+
+        for bits in bit_widths:
+            q = quantize_model(base_model, QuantizationConfig(bits=bits))
+            variant = ModelVariant(
+                name=q.name,
+                model=q,
+                optimization="quantization",
+                bits=bits,
+                size_bytes=int(np.ceil(base_model.num_params() * bits / 8)),
+            )
+            variants.append(self._evaluate(variant, x_eval, y_eval, profiles))
+
+        for sp in sparsities:
+            p = magnitude_prune(base_model, sp)
+            variant = ModelVariant(
+                name=p.name,
+                model=p,
+                optimization="pruning",
+                bits=32,
+                sparsity=sp,
+                size_bytes=sparse_size_bytes(p, bits=32),
+            )
+            variants.append(self._evaluate(variant, x_eval, y_eval, profiles))
+
+        for comp in lowrank_compressions:
+            try:
+                lr_model = factorize_dense_model(base_model, compression=comp)
+            except TypeError:
+                continue  # non-MLP models cannot be factorized
+            variant = ModelVariant(
+                name=lr_model.name,
+                model=lr_model,
+                optimization="lowrank",
+                bits=32,
+                size_bytes=lr_model.num_params() * 4,
+            )
+            variants.append(self._evaluate(variant, x_eval, y_eval, profiles))
+        return variants
+
+
+def pareto_front(
+    variants: Sequence[ModelVariant],
+    objectives: Tuple[str, str] = ("size_bytes", "accuracy"),
+) -> List[ModelVariant]:
+    """Non-dominated variants, minimizing the first objective and maximizing the second.
+
+    The default objectives are (size ↓, accuracy ↑); callers can substitute a
+    per-device latency key by passing ``("latency:<device>", "accuracy")``.
+    """
+    def value(v: ModelVariant, key: str) -> float:
+        if key.startswith("latency:"):
+            return v.latency_s[key.split(":", 1)[1]]
+        return float(getattr(v, key))
+
+    minimize, maximize = objectives
+    front: List[ModelVariant] = []
+    for cand in variants:
+        dominated = False
+        for other in variants:
+            if other is cand:
+                continue
+            if (
+                value(other, minimize) <= value(cand, minimize)
+                and value(other, maximize) >= value(cand, maximize)
+                and (
+                    value(other, minimize) < value(cand, minimize)
+                    or value(other, maximize) > value(cand, maximize)
+                )
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(cand)
+    return sorted(front, key=lambda v: value(v, minimize))

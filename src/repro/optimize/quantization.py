@@ -1,0 +1,154 @@
+"""Post-training quantization utilities.
+
+Implements the classic TinyML optimization the paper discusses in
+Sections II / III-A: reduced-precision weights (8/4/2/1 bit), symmetric or
+affine, per-tensor or per-channel.  Quantization is *simulated* (fake
+quantization: quantize then dequantize back to float) because the NumPy
+engine has no integer kernels — the accuracy impact is faithful, while the
+latency impact is modelled by the device cost model, which only credits a
+speed-up when the target natively supports the chosen bit width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuantizationConfig",
+    "quantize_array",
+    "dequantize_array",
+    "fake_quantize",
+    "quantize_model",
+    "quantization_error",
+    "calibrate_activation_ranges",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Configuration of a post-training quantization run.
+
+    Attributes
+    ----------
+    bits:
+        Target weight bit width (1, 2, 4, 8 or 16).
+    symmetric:
+        Symmetric (zero-point 0) vs affine quantization.
+    per_channel:
+        Quantize each output channel with its own scale.
+    quantize_bias:
+        Whether bias vectors are quantized too (normally kept in float).
+    activation_bits:
+        Optional activation bit width recorded for the executor/cost model.
+    """
+
+    bits: int = 8
+    symmetric: bool = True
+    per_channel: bool = False
+    quantize_bias: bool = False
+    activation_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.bits not in (1, 2, 4, 8, 16):
+            raise ValueError(f"unsupported bit width {self.bits}")
+
+
+def quantize_array(
+    x: np.ndarray, bits: int, symmetric: bool = True
+) -> Tuple[np.ndarray, float, float]:
+    """Quantize an array; returns ``(q, scale, zero_point)``.
+
+    ``q`` holds integer code values stored in float64 (NumPy has no packed
+    sub-byte integers); ``dequantize_array`` restores approximate floats.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if bits >= 32:
+        return x.copy(), 1.0, 0.0
+    if symmetric:
+        qmax = float(2 ** (bits - 1) - 1) if bits > 1 else 1.0
+        qmin = -qmax - (1.0 if bits > 1 else 0.0)
+        max_abs = float(np.max(np.abs(x))) if x.size else 0.0
+        scale = max_abs / qmax if max_abs > 0 else 1.0
+        q = np.clip(np.round(x / scale), qmin, qmax)
+        return q, scale, 0.0
+    lo = float(x.min()) if x.size else 0.0
+    hi = float(x.max()) if x.size else 0.0
+    qmax = float(2**bits - 1)
+    scale = (hi - lo) / qmax if hi > lo else 1.0
+    zero = -lo / scale
+    q = np.clip(np.round(x / scale + zero), 0.0, qmax)
+    return q, scale, zero
+
+
+def dequantize_array(q: np.ndarray, scale: float, zero_point: float = 0.0) -> np.ndarray:
+    """Inverse of :func:`quantize_array`."""
+    return (np.asarray(q, dtype=np.float64) - zero_point) * scale
+
+
+def fake_quantize(x: np.ndarray, bits: int, symmetric: bool = True, per_channel: bool = False) -> np.ndarray:
+    """Quantize-dequantize an array, optionally per output channel (last axis)."""
+    if bits >= 32:
+        return np.asarray(x, dtype=np.float64).copy()
+    x = np.asarray(x, dtype=np.float64)
+    if per_channel and x.ndim >= 2:
+        flat = x.reshape(-1, x.shape[-1])
+        out = np.empty_like(flat)
+        for c in range(flat.shape[1]):
+            q, scale, zero = quantize_array(flat[:, c], bits, symmetric)
+            out[:, c] = dequantize_array(q, scale, zero)
+        return out.reshape(x.shape)
+    q, scale, zero = quantize_array(x, bits, symmetric)
+    return dequantize_array(q, scale, zero)
+
+
+def quantize_model(model, config: QuantizationConfig, name_suffix: Optional[str] = None):
+    """Return a copy of a :class:`repro.nn.Sequential` with quantized weights.
+
+    Only weight matrices/kernels (parameter key ``"W"``) are quantized;
+    biases and BatchNorm statistics stay in float unless
+    ``config.quantize_bias`` is set.
+    """
+    suffix = name_suffix if name_suffix is not None else f"-int{config.bits}"
+    clone = model.clone(copy_weights=True, name=f"{model.name}{suffix}")
+    for layer in clone.layers:
+        for key, value in layer.params.items():
+            if key == "W" or (config.quantize_bias and key == "b"):
+                layer.params[key] = fake_quantize(
+                    value, config.bits, symmetric=config.symmetric, per_channel=config.per_channel
+                )
+    return clone
+
+
+def quantization_error(model, quantized) -> Dict[str, float]:
+    """Weight-space error statistics between a model and its quantized copy."""
+    w_ref = model.get_flat_weights()
+    w_q = quantized.get_flat_weights()
+    if w_ref.shape != w_q.shape:
+        raise ValueError("models have different parameter counts")
+    diff = w_ref - w_q
+    denom = float(np.linalg.norm(w_ref)) or 1.0
+    return {
+        "mse": float(np.mean(diff**2)),
+        "max_abs": float(np.max(np.abs(diff))) if diff.size else 0.0,
+        "relative_l2": float(np.linalg.norm(diff)) / denom,
+    }
+
+
+def calibrate_activation_ranges(model, calibration_x: np.ndarray, percentile: float = 99.9) -> Dict[str, Tuple[float, float]]:
+    """Record per-layer activation ranges on calibration data.
+
+    Mirrors the calibration step of integer deployment toolchains: the
+    recorded ranges are attached to deployment manifests so the on-device
+    runtime can configure its (simulated) activation quantizers.
+    """
+    ranges: Dict[str, Tuple[float, float]] = {}
+    out = calibration_x
+    for layer in model.layers:
+        out = layer.forward(out, training=False)
+        lo = float(np.percentile(out, 100.0 - percentile))
+        hi = float(np.percentile(out, percentile))
+        ranges[layer.name] = (lo, hi)
+    return ranges

@@ -1,0 +1,194 @@
+"""Model watermarking: static (weight-space) and dynamic (trigger-set).
+
+Paper Section V distinguishes static watermarks ("embed the watermark into
+the weights of the model … we need white-box access to retrieve it") from
+dynamic watermarks ("train the model to behave in a specific way for a
+carefully designed set of trigger inputs … only black-box access is
+required"), and evaluates them on fidelity / robustness / capacity.
+
+* :class:`StaticWatermarker` embeds a binary message by nudging the signs of
+  the projections of the flattened weights onto secret random directions
+  (a spread-spectrum scheme in the spirit of Uchida et al.).
+* :class:`TriggerSetWatermarker` fine-tunes the model to emit chosen labels
+  on a secret set of out-of-distribution trigger inputs.
+* :func:`evaluate_robustness` measures watermark survival under pruning,
+  quantization and fine-tuning — the robustness axis of the paper's
+  fidelity/robustness/capacity trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WatermarkKey",
+    "StaticWatermarker",
+    "TriggerSetWatermarker",
+    "evaluate_robustness",
+]
+
+
+@dataclass
+class WatermarkKey:
+    """Secret material needed to extract/verify a watermark."""
+
+    owner: str
+    kind: str
+    seed: int
+    message: np.ndarray  # binary message bits
+    payload: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class StaticWatermarker:
+    """Spread-spectrum weight-space watermark (white-box verification).
+
+    The message bit ``b_i`` is encoded in the sign of ``<w, d_i>`` where
+    ``d_i`` is a secret random unit direction.  Embedding projects the
+    weights the minimal distance needed to give each projection the desired
+    sign with margin ``strength``; extraction simply reads the signs back.
+    """
+
+    def __init__(self, message_bits: int = 32, strength: float = 0.05, seed: int = 0) -> None:
+        if message_bits <= 0:
+            raise ValueError("message_bits must be positive")
+        self.message_bits = int(message_bits)
+        self.strength = float(strength)
+        self.seed = int(seed)
+
+    def _directions(self, dim: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        d = rng.normal(size=(self.message_bits, dim))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        return d
+
+    def embed(self, model, owner: str, message: Optional[np.ndarray] = None) -> Tuple[object, WatermarkKey]:
+        """Embed a message into a copy of ``model``; returns (model, key)."""
+        rng = np.random.default_rng(self.seed + 1)
+        if message is None:
+            message = rng.integers(0, 2, size=self.message_bits)
+        message = np.asarray(message).astype(int) % 2
+        if message.shape[0] != self.message_bits:
+            raise ValueError("message length must equal message_bits")
+        marked = model.clone(copy_weights=True, name=f"{model.name}-wm")
+        w = marked.get_flat_weights()
+        directions = self._directions(w.size)
+        target_signs = np.where(message == 1, 1.0, -1.0)
+        projections = directions @ w
+        # Shift w along each direction so the projection reaches the target
+        # sign with margin `strength` (directions are near-orthogonal at high
+        # dimension, so sequential correction converges in one pass).
+        for i in range(self.message_bits):
+            needed = target_signs[i] * self.strength - projections[i]
+            if target_signs[i] * projections[i] < self.strength:
+                w = w + needed * directions[i]
+                projections = directions @ w
+        marked.set_flat_weights(w)
+        key = WatermarkKey(owner=owner, kind="static", seed=self.seed, message=message)
+        return marked, key
+
+    def extract(self, model, key: WatermarkKey) -> np.ndarray:
+        """Read the message bits out of a (possibly modified) model."""
+        w = model.get_flat_weights()
+        directions = self._directions(w.size)
+        return (directions @ w > 0).astype(int)
+
+    def verify(self, model, key: WatermarkKey) -> Dict[str, float]:
+        """Bit-error rate and match decision for the embedded message."""
+        extracted = self.extract(model, key)
+        ber = float(np.mean(extracted != key.message))
+        return {"bit_error_rate": ber, "matched": float(ber < 0.25), "bits": float(self.message_bits)}
+
+
+class TriggerSetWatermarker:
+    """Backdoor-style trigger-set watermark (black-box verification).
+
+    Generates a small set of random out-of-distribution inputs, assigns them
+    cyclic labels, and fine-tunes the model on a mix of clean data and the
+    trigger set.  Ownership is claimed when the model's accuracy on the
+    trigger set greatly exceeds chance.
+    """
+
+    def __init__(self, n_triggers: int = 20, epochs: int = 5, lr: float = 0.01, seed: int = 0) -> None:
+        self.n_triggers = int(n_triggers)
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self.seed = int(seed)
+
+    def _make_triggers(self, input_shape: Tuple[int, ...], num_classes: int) -> Tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        x = rng.uniform(-3.0, 3.0, size=(self.n_triggers,) + tuple(input_shape))
+        y = np.arange(self.n_triggers) % num_classes
+        return x, y
+
+    def embed(self, model, x_clean: np.ndarray, y_clean: np.ndarray, num_classes: int, owner: str) -> Tuple[object, WatermarkKey]:
+        """Fine-tune a copy of the model to memorize the trigger set."""
+        triggers_x, triggers_y = self._make_triggers(model.input_shape, num_classes)
+        marked = model.clone(copy_weights=True, name=f"{model.name}-trigger-wm")
+        # Oversample triggers so the small set is actually memorized.
+        reps = max(1, int(np.ceil(0.2 * x_clean.shape[0] / max(self.n_triggers, 1))))
+        x_mix = np.concatenate([x_clean] + [triggers_x] * reps, axis=0)
+        y_mix = np.concatenate([y_clean] + [triggers_y] * reps, axis=0)
+        marked.fit(x_mix, y_mix, epochs=self.epochs, lr=self.lr, batch_size=32, seed=self.seed)
+        key = WatermarkKey(
+            owner=owner,
+            kind="trigger_set",
+            seed=self.seed,
+            message=triggers_y,
+            payload={"triggers_x": triggers_x},
+        )
+        return marked, key
+
+    def verify(self, model, key: WatermarkKey, chance_margin: float = 3.0) -> Dict[str, float]:
+        """Trigger-set accuracy and the ownership decision.
+
+        Ownership is asserted when trigger accuracy exceeds ``chance_margin``
+        times the chance level (1 / num_classes inferred from the labels).
+        """
+        triggers_x = key.payload["triggers_x"]
+        preds = model.predict_classes(triggers_x)
+        acc = float(np.mean(preds == key.message))
+        num_classes = int(key.message.max()) + 1
+        chance = 1.0 / max(num_classes, 1)
+        return {"trigger_accuracy": acc, "chance": chance, "matched": float(acc >= min(0.9, chance_margin * chance))}
+
+
+def evaluate_robustness(
+    watermarker,
+    marked_model,
+    key: WatermarkKey,
+    x_finetune: Optional[np.ndarray] = None,
+    y_finetune: Optional[np.ndarray] = None,
+    prune_sparsities: Sequence[float] = (0.3, 0.5, 0.7),
+    quant_bits: Sequence[int] = (8, 4),
+    finetune_epochs: int = 2,
+) -> List[Dict[str, float]]:
+    """Watermark survival under common removal attacks.
+
+    Returns one record per attack with the verification metrics of the
+    attacked model, plus its accuracy drop when fine-tune data is provided.
+    """
+    from repro.optimize.pruning import magnitude_prune
+    from repro.optimize.quantization import QuantizationConfig, quantize_model
+
+    results: List[Dict[str, float]] = []
+
+    def check(attacked, attack: str, param: float) -> None:
+        metrics = watermarker.verify(attacked, key)
+        record = {"attack": attack, "param": param, **metrics}
+        if x_finetune is not None and y_finetune is not None:
+            record["accuracy_after_attack"] = attacked.evaluate(x_finetune, y_finetune)["accuracy"]
+        results.append(record)
+
+    check(marked_model, "none", 0.0)
+    for sp in prune_sparsities:
+        check(magnitude_prune(marked_model, sp), "prune", float(sp))
+    for bits in quant_bits:
+        check(quantize_model(marked_model, QuantizationConfig(bits=bits)), "quantize", float(bits))
+    if x_finetune is not None and y_finetune is not None and finetune_epochs > 0:
+        tuned = marked_model.clone(copy_weights=True, name=f"{marked_model.name}-ft")
+        tuned.fit(x_finetune, y_finetune, epochs=finetune_epochs, lr=0.005, batch_size=32)
+        check(tuned, "finetune", float(finetune_epochs))
+    return results

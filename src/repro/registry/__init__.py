@@ -1,0 +1,15 @@
+"""Model registry: content-addressed store, versions, lineage, pipeline triggers."""
+
+from .store import ArtifactStore, StoredArtifact
+from .triggers import OptimizationPipeline, TriggerManager, VariantRecipe
+from .versioning import ModelRegistry, ModelVersion
+
+__all__ = [
+    "ArtifactStore",
+    "StoredArtifact",
+    "ModelRegistry",
+    "ModelVersion",
+    "OptimizationPipeline",
+    "TriggerManager",
+    "VariantRecipe",
+]

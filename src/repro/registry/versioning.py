@@ -1,0 +1,247 @@
+"""Model registry: versions, lineage and per-device variant tracking.
+
+Paper Section III-A: "Existing solutions for storing models in a centralized
+repository will … have to be extended to track the relationship between
+different versions of the models, recording what optimizations are applied
+to every instance."
+
+The :class:`ModelRegistry` implements exactly that:
+
+* every registered model/graph becomes an immutable :class:`ModelVersion`
+  backed by the content-addressed :class:`~repro.registry.store.ArtifactStore`;
+* derivation edges ("quantized-8bit of", "pruned-75% of", "watermarked for
+  user X of", "federated-round-12 of") form a lineage DAG (networkx);
+* deployment records map fleet devices to the exact version they run;
+* when a base model is re-registered (retrained), the registry reports which
+  derived variants are stale and need their optimization pipelines re-run.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .store import ArtifactStore, StoredArtifact
+
+__all__ = ["ModelVersion", "ModelRegistry"]
+
+
+@dataclass
+class ModelVersion:
+    """One immutable version of a logical model.
+
+    Attributes
+    ----------
+    version_id:
+        Unique id ``<model_name>:<n>``.
+    model_name:
+        Logical model family name (e.g. ``"wakeword"``).
+    digest:
+        Content digest of the stored artifact.
+    kind:
+        ``"base"`` for trained models, or the optimization kind for derived
+        versions (``"quantized"``, ``"pruned"``, ``"watermarked"``, ...).
+    parents:
+        Version ids this version was derived from.
+    tags:
+        Free-form key/value annotations (bit width, target device, accuracy).
+    created_at:
+        Logical timestamp (monotonic counter) for ordering.
+    """
+
+    version_id: str
+    model_name: str
+    digest: str
+    kind: str = "base"
+    parents: Tuple[str, ...] = ()
+    tags: Dict[str, object] = field(default_factory=dict)
+    created_at: int = 0
+
+    def is_base(self) -> bool:
+        return self.kind == "base"
+
+
+class ModelRegistry:
+    """Tracks model versions, their lineage and their deployments."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None) -> None:
+        self.store = store or ArtifactStore()
+        self.versions: Dict[str, ModelVersion] = {}
+        self.lineage = nx.DiGraph()
+        self._counters: Dict[str, itertools.count] = {}
+        self._clock = itertools.count()
+        # deployment map: device_id -> {model_name: version_id}
+        self.deployments: Dict[str, Dict[str, str]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _next_version_id(self, model_name: str) -> str:
+        counter = self._counters.setdefault(model_name, itertools.count(1))
+        return f"{model_name}:{next(counter)}"
+
+    def register(
+        self,
+        model_name: str,
+        artifact_bytes: bytes,
+        kind: str = "base",
+        parents: Sequence[str] = (),
+        tags: Optional[Dict[str, object]] = None,
+    ) -> ModelVersion:
+        """Register a new version of ``model_name`` from serialized bytes."""
+        for parent in parents:
+            if parent not in self.versions:
+                raise KeyError(f"unknown parent version {parent!r}")
+        record = self.store.put(artifact_bytes, kind="model", name=model_name, metadata={"kind": kind})
+        version = ModelVersion(
+            version_id=self._next_version_id(model_name),
+            model_name=model_name,
+            digest=record.digest,
+            kind=kind,
+            parents=tuple(parents),
+            tags=dict(tags or {}),
+            created_at=next(self._clock),
+        )
+        self.versions[version.version_id] = version
+        self.lineage.add_node(version.version_id, kind=kind, model=model_name)
+        for parent in parents:
+            self.lineage.add_edge(parent, version.version_id, relation=kind)
+        return version
+
+    def register_model(self, model, kind: str = "base", parents: Sequence[str] = (), tags: Optional[Dict[str, object]] = None, model_name: Optional[str] = None) -> ModelVersion:
+        """Register a :class:`repro.nn.Sequential` (serialized with ``to_bytes``)."""
+        return self.register(model_name or model.name, model.to_bytes(), kind=kind, parents=parents, tags=tags)
+
+    def register_graph(self, graph, kind: str = "base", parents: Sequence[str] = (), tags: Optional[Dict[str, object]] = None, model_name: Optional[str] = None) -> ModelVersion:
+        """Register a :class:`repro.exchange.GraphIR` artifact."""
+        return self.register(model_name or graph.name, graph.to_bytes(), kind=kind, parents=parents, tags=tags)
+
+    # ------------------------------------------------------------------
+    # retrieval / queries
+    # ------------------------------------------------------------------
+    def get(self, version_id: str) -> ModelVersion:
+        """Version record by id."""
+        if version_id not in self.versions:
+            raise KeyError(f"unknown version {version_id!r}")
+        return self.versions[version_id]
+
+    def load_bytes(self, version_id: str) -> bytes:
+        """Raw artifact bytes for a version."""
+        return self.store.get(self.get(version_id).digest)
+
+    def load_model(self, version_id: str):
+        """Deserialize a registered Sequential model."""
+        from repro.nn.model import Sequential
+
+        return Sequential.from_bytes(self.load_bytes(version_id))
+
+    def load_graph(self, version_id: str):
+        """Deserialize a registered GraphIR artifact."""
+        from repro.exchange.graph import GraphIR
+
+        return GraphIR.from_bytes(self.load_bytes(version_id))
+
+    def versions_of(self, model_name: str, kind: Optional[str] = None) -> List[ModelVersion]:
+        """All versions of a logical model, oldest first."""
+        out = [v for v in self.versions.values() if v.model_name == model_name]
+        if kind is not None:
+            out = [v for v in out if v.kind == kind]
+        return sorted(out, key=lambda v: v.created_at)
+
+    def latest(self, model_name: str, kind: Optional[str] = None) -> ModelVersion:
+        """Most recent version of a model (optionally of a given kind)."""
+        versions = self.versions_of(model_name, kind=kind)
+        if not versions:
+            raise KeyError(f"no versions registered for {model_name!r}")
+        return versions[-1]
+
+    def derived_from(self, version_id: str, recursive: bool = True) -> List[ModelVersion]:
+        """Versions derived from ``version_id`` (children or full descendants)."""
+        self.get(version_id)
+        if recursive:
+            ids = nx.descendants(self.lineage, version_id)
+        else:
+            ids = set(self.lineage.successors(version_id))
+        return sorted((self.versions[i] for i in ids), key=lambda v: v.created_at)
+
+    def ancestry(self, version_id: str) -> List[ModelVersion]:
+        """All ancestors of a version (the provenance chain)."""
+        self.get(version_id)
+        ids = nx.ancestors(self.lineage, version_id)
+        return sorted((self.versions[i] for i in ids), key=lambda v: v.created_at)
+
+    def find_by_tag(self, **tags: object) -> List[ModelVersion]:
+        """Versions whose tags contain all the given key/value pairs."""
+        out = []
+        for v in self.versions.values():
+            if all(v.tags.get(k) == val for k, val in tags.items()):
+                out.append(v)
+        return sorted(out, key=lambda v: v.created_at)
+
+    # ------------------------------------------------------------------
+    # deployments
+    # ------------------------------------------------------------------
+    def record_deployment(self, device_id: str, version_id: str) -> None:
+        """Record that a device now runs ``version_id``."""
+        version = self.get(version_id)
+        self.deployments.setdefault(device_id, {})[version.model_name] = version_id
+
+    def deployed_version(self, device_id: str, model_name: str) -> Optional[str]:
+        """Version a device currently runs for a model (None if not deployed)."""
+        return self.deployments.get(device_id, {}).get(model_name)
+
+    def devices_running(self, version_id: str) -> List[str]:
+        """Devices currently running a specific version."""
+        version = self.get(version_id)
+        return sorted(
+            dev for dev, models in self.deployments.items() if models.get(version.model_name) == version_id
+        )
+
+    def deployment_histogram(self, model_name: str) -> Dict[str, int]:
+        """Count of devices per deployed version of a model."""
+        hist: Dict[str, int] = {}
+        for models in self.deployments.values():
+            vid = models.get(model_name)
+            if vid:
+                hist[vid] = hist.get(vid, 0) + 1
+        return hist
+
+    # ------------------------------------------------------------------
+    # staleness / retriggering (Section III-A optimization pipeline)
+    # ------------------------------------------------------------------
+    def stale_variants(self, model_name: str) -> List[ModelVersion]:
+        """Derived variants whose base is no longer the latest base version.
+
+        When a base model is retrained and re-registered, every variant
+        derived from an *older* base is stale and the optimization pipeline
+        that produced it must be re-run (paper Section III-A).
+        """
+        bases = self.versions_of(model_name, kind="base")
+        if len(bases) < 2:
+            return []
+        latest_base = bases[-1].version_id
+        older_bases = {b.version_id for b in bases[:-1]}
+        stale: List[ModelVersion] = []
+        for base_id in older_bases:
+            stale.extend(v for v in self.derived_from(base_id) if not v.is_base())
+        # Variants already re-derived from the latest base are not stale.
+        fresh = {v.version_id for v in self.derived_from(latest_base)}
+        return sorted((v for v in stale if v.version_id not in fresh), key=lambda v: v.created_at)
+
+    def stats(self) -> Dict[str, object]:
+        """Registry-wide statistics for dashboards and the E3 benchmark."""
+        kinds: Dict[str, int] = {}
+        for v in self.versions.values():
+            kinds[v.kind] = kinds.get(v.kind, 0) + 1
+        return {
+            "n_versions": len(self.versions),
+            "n_models": len({v.model_name for v in self.versions.values()}),
+            "n_edges": self.lineage.number_of_edges(),
+            "by_kind": kinds,
+            "store_bytes": self.store.total_bytes(),
+            "n_deployed_devices": len(self.deployments),
+        }

@@ -1,0 +1,39 @@
+"""Portable module runtime: sandboxed pipelines, orchestration, offloading."""
+
+from .modules import (
+    Capability,
+    Module,
+    Sandbox,
+    SandboxViolation,
+    argmax_module,
+    graph_module,
+    model_module,
+    normalize_module,
+    softmax_module,
+    threshold_module,
+)
+from .offload import OffloadBid, OffloadMarketplace, SplitDecision, find_best_split
+from .orchestrator import Orchestrator, PlacementDecision, RolloutPlan
+from .pipeline import ConditionalStage, Pipeline
+
+__all__ = [
+    "Capability",
+    "Module",
+    "Sandbox",
+    "SandboxViolation",
+    "normalize_module",
+    "threshold_module",
+    "argmax_module",
+    "softmax_module",
+    "model_module",
+    "graph_module",
+    "Pipeline",
+    "ConditionalStage",
+    "Orchestrator",
+    "PlacementDecision",
+    "RolloutPlan",
+    "OffloadMarketplace",
+    "OffloadBid",
+    "SplitDecision",
+    "find_best_split",
+]

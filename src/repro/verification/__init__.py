@@ -1,0 +1,20 @@
+"""Verifiable execution: Freivalds checks, Merkle commitments, transcripts, simulated TEE."""
+
+from .commitments import MerkleTree, commit_model_weights, verify_weight_chunk
+from .enclave import EnclaveReport, SimulatedEnclave, slalom_partition
+from .freivalds import FreivaldsVerifier, freivalds_check
+from .protocol import ExecutionTranscript, TranscriptVerifier, VerifiableExecutor
+
+__all__ = [
+    "freivalds_check",
+    "FreivaldsVerifier",
+    "MerkleTree",
+    "commit_model_weights",
+    "verify_weight_chunk",
+    "ExecutionTranscript",
+    "VerifiableExecutor",
+    "TranscriptVerifier",
+    "SimulatedEnclave",
+    "EnclaveReport",
+    "slalom_partition",
+]

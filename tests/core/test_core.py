@@ -1,0 +1,174 @@
+"""Tests for context-aware model selection and the TinyMLOpsPlatform facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ModelSelector, PlatformConfig, SelectionPolicy, TinyMLOpsPlatform
+from repro.data import make_gaussian_blobs, partition_dirichlet
+from repro.devices import Fleet, NetworkCondition, NetworkType, get_profile
+from repro.nn import make_mlp
+from repro.optimize import VariantGenerator
+
+
+@pytest.fixture(scope="module")
+def variants(trained_mlp_module, blobs_module):
+    _, test = blobs_module
+    profiles = [get_profile("mcu-m4"), get_profile("phone-mid")]
+    return VariantGenerator().generate(trained_mlp_module, test.x, test.y, profiles, bit_widths=(8, 2), sparsities=(0.5,))
+
+
+@pytest.fixture(scope="module")
+def blobs_module():
+    ds = make_gaussian_blobs(900, 12, 4, seed=7)
+    return ds.split(0.25, seed=7)
+
+
+@pytest.fixture(scope="module")
+def trained_mlp_module(blobs_module):
+    train, _ = blobs_module
+    model = make_mlp(12, 4, hidden=(32, 16), seed=0, name="selector_mlp")
+    model.fit(train.x, train.y, epochs=6, lr=0.01, seed=0)
+    return model
+
+
+class TestModelSelection:
+    def test_selects_feasible_variant(self, variants):
+        selector = ModelSelector()
+        result = selector.select(variants, get_profile("phone-mid"), network=NetworkCondition.of(NetworkType.WIFI))
+        assert result.chosen is not None
+        assert result.chosen.name in result.feasible
+
+    def test_hard_constraints_filter(self, variants):
+        selector = ModelSelector()
+        policy = SelectionPolicy(min_accuracy=0.99, max_size_bytes=10)
+        result = selector.select(variants, get_profile("phone-mid"), policy=policy)
+        assert result.chosen is None
+
+    def test_slow_network_prefers_smaller_artifact(self, variants):
+        selector = ModelSelector()
+        fast = selector.select(variants, get_profile("phone-mid"), network=NetworkCondition.of(NetworkType.WIFI), policy=SelectionPolicy.plugged_in())
+        slow = selector.select(variants, get_profile("phone-mid"), network=NetworkCondition.of(NetworkType.LPWAN), policy=SelectionPolicy.slow_network())
+        assert slow.chosen.size_bytes <= fast.chosen.size_bytes
+
+    def test_low_battery_policy_prefers_cheaper_model(self, variants):
+        selector = ModelSelector()
+        plugged = selector.select(variants, get_profile("mcu-m4"), policy=SelectionPolicy.plugged_in())
+        battery = selector.select(variants, get_profile("mcu-m4"), policy=SelectionPolicy.low_battery())
+        assert battery.chosen.latency_s["mcu-m4"] <= plugged.chosen.latency_s["mcu-m4"] + 1e-9
+
+    def test_policy_from_context(self):
+        selector = ModelSelector()
+        plugged = selector.policy_for_context({"power_state": "plugged_in"})
+        low = selector.policy_for_context({"power_state": "on_battery", "state_of_charge": 0.1})
+        metered = selector.policy_for_context({"network": "cellular", "metered": True})
+        assert plugged.energy_weight < low.energy_weight
+        assert metered.download_weight == 1.0
+
+    def test_offline_device_still_gets_a_variant(self, variants):
+        selector = ModelSelector()
+        result = selector.select(variants, get_profile("phone-mid"), network=NetworkCondition.of(NetworkType.OFFLINE))
+        assert result.chosen is not None
+
+    def test_explain_lists_all_variants(self, variants):
+        selector = ModelSelector()
+        result = selector.select(variants, get_profile("phone-mid"))
+        text = result.explain()
+        for variant in variants:
+            assert variant.name in text
+
+
+class TestPlatformEndToEnd:
+    @pytest.fixture(scope="class")
+    def platform_setup(self):
+        ds = make_gaussian_blobs(1000, 12, 4, seed=21)
+        train, test = ds.split(0.3, seed=21)
+        fleet = Fleet.random(15, seed=21)
+        platform = TinyMLOpsPlatform(fleet, PlatformConfig(bit_widths=(8, 4), sparsities=(0.5,), seed=21))
+        model = make_mlp(12, 4, hidden=(32, 16), seed=0, name="wakeword")
+        model.fit(train.x, train.y, epochs=6, lr=0.01, seed=0)
+        release = platform.release(model, test.x, test.y, watermark_owner="acme")
+        deploy = platform.deploy(
+            "wakeword",
+            reference_x=train.x[:200],
+            reference_predictions=model.predict_classes(train.x[:200]),
+            num_classes=4,
+            prepaid_queries=500,
+        )
+        return platform, fleet, train, test, release, deploy
+
+    def test_release_registers_base_and_variants(self, platform_setup):
+        platform, _, _, _, release, _ = platform_setup
+        assert release["base_version"].startswith("wakeword:")
+        assert len(release["derived_versions"]) == 3
+        assert len(release["variants"]) >= 4
+        assert release["pareto_front"]
+
+    def test_deploy_covers_fleet(self, platform_setup):
+        platform, fleet, _, _, _, deploy = platform_setup
+        assert deploy["deployed"] == len(fleet)
+        assert deploy["failed"] == 0
+        assert platform.registry.stats()["n_deployed_devices"] == len(fleet)
+
+    def test_serve_meters_and_monitors(self, platform_setup):
+        platform, fleet, _, test, _, _ = platform_setup
+        device_id = next(iter(fleet)).device_id
+        result = platform.serve(device_id, "wakeword", test.x[:50])
+        assert result["served"] + result["denied_quota"] + result["battery_failures"] == 50
+        assert platform.ledgers[device_id].used("wakeword") >= result["served"]
+
+    def test_quota_denies_after_prepaid_amount(self, platform_setup):
+        platform, fleet, _, test, _, _ = platform_setup
+        device_id = list(fleet.devices)[1]
+        for _ in range(6):
+            platform.serve(device_id, "wakeword", test.x[:100])
+        result = platform.serve(device_id, "wakeword", test.x[:100])
+        assert result["denied_quota"] > 0
+
+    def test_sync_and_health(self, platform_setup):
+        platform, fleet, _, test, _, _ = platform_setup
+        online = [d for d in fleet if d.network.online]
+        if not online:
+            pytest.skip("random fleet has no online devices")
+        device = online[0]
+        platform.serve(device.device_id, "wakeword", test.x[:20])
+        sync = platform.sync_device(device.device_id)
+        assert sync["synced"] and sync["billing_accepted"]
+        health = platform.fleet_health()
+        assert "metrics" in health and "alerts" in health
+
+    def test_offline_device_does_not_sync(self, platform_setup):
+        platform, fleet, _, _, _, _ = platform_setup
+        offline = [d for d in fleet if not d.network.online]
+        if not offline:
+            pytest.skip("random fleet has no offline devices")
+        assert platform.sync_device(offline[0].device_id) == {"synced": False, "reason": "offline"}
+
+    def test_federated_update_registers_new_version(self, platform_setup):
+        platform, fleet, train, test, _, _ = platform_setup
+        parts = partition_dirichlet(train, min(6, len(fleet)), alpha=1.0, seed=3)
+        device_ids = list(fleet.devices)
+        for i, part in enumerate(parts):
+            part.client_id = device_ids[i]
+        result = platform.federated_update("wakeword", parts, rounds=2, eval_data=(test.x, test.y))
+        assert len(result["rounds"]) == 2
+        assert result["new_version"].startswith("wakeword:")
+        kinds = platform.registry.stats()["by_kind"]
+        assert kinds.get("federated", 0) >= 1
+
+    def test_protect_and_verify(self, platform_setup):
+        platform, fleet, _, test, _, _ = platform_setup
+        device_id = next(iter(fleet)).device_id
+        protection = platform.protect("wakeword", device_id, poisoning="round")
+        assert protection["encrypted_bytes"] > 0
+        probs = protection["protected_model"].predict_proba(test.x[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+        report = platform.verify_inference("wakeword", test.x[:16])
+        assert report["valid"]
+
+    def test_summary_structure(self, platform_setup):
+        platform, _, _, _, _, _ = platform_setup
+        summary = platform.summary()
+        assert set(summary) == {"fleet", "registry", "billing", "telemetry", "events"}
+        assert summary["events"] >= 3

@@ -1,0 +1,305 @@
+"""Unit tests for repro.nn.layers: shapes, forward values and gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Activation,
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    col2im,
+    im2col,
+)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_input_gradient(layer, x, atol=1e-5):
+    """Compare the analytic dL/dx against numerical differentiation (L = sum(out))."""
+    out = layer.forward(x, training=True)
+    analytic = layer.backward(np.ones_like(out))
+
+    def loss():
+        return float(layer.forward(x, training=True).sum())
+
+    numeric = numerical_grad(loss, x)
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+def check_param_gradient(layer, x, key, atol=1e-5):
+    """Compare analytic parameter gradients against numerical differentiation."""
+    out = layer.forward(x, training=True)
+    layer.backward(np.ones_like(out))
+    analytic = layer.grads[key].copy()
+
+    def loss():
+        return float(layer.forward(x, training=True).sum())
+
+    numeric = numerical_grad(loss, layer.params[key])
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+# ---------------------------------------------------------------------------
+# Dense
+# ---------------------------------------------------------------------------
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(7)
+        layer.build((5,), rng)
+        assert layer.output_shape((5,)) == (7,)
+        out = layer.forward(rng.normal(size=(3, 5)))
+        assert out.shape == (3, 7)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Dense(4, use_bias=True)
+        layer.build((6,), rng)
+        x = rng.normal(size=(2, 6))
+        expected = x @ layer.params["W"] + layer.params["b"]
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_input_gradient(self, rng):
+        layer = Dense(5, activation="relu")
+        layer.build((4,), rng)
+        check_input_gradient(layer, rng.normal(size=(3, 4)))
+
+    def test_weight_gradient(self, rng):
+        layer = Dense(5, activation="tanh")
+        layer.build((4,), rng)
+        check_param_gradient(layer, rng.normal(size=(3, 4)), "W")
+
+    def test_bias_gradient(self, rng):
+        layer = Dense(5)
+        layer.build((4,), rng)
+        check_param_gradient(layer, rng.normal(size=(3, 4)), "b")
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+    def test_no_bias(self, rng):
+        layer = Dense(3, use_bias=False)
+        layer.build((4,), rng)
+        assert "b" not in layer.params
+        assert layer.num_params() == 12
+
+
+# ---------------------------------------------------------------------------
+# Conv2D / DepthwiseConv2D
+# ---------------------------------------------------------------------------
+
+class TestConv2D:
+    def test_same_padding_shape(self, rng):
+        layer = Conv2D(6, kernel_size=3, padding="same")
+        layer.build((8, 8, 2), rng)
+        assert layer.output_shape((8, 8, 2)) == (8, 8, 6)
+        out = layer.forward(rng.normal(size=(2, 8, 8, 2)))
+        assert out.shape == (2, 8, 8, 6)
+
+    def test_valid_padding_shape(self, rng):
+        layer = Conv2D(4, kernel_size=3, padding="valid")
+        layer.build((8, 8, 1), rng)
+        assert layer.output_shape((8, 8, 1)) == (6, 6, 4)
+
+    def test_stride(self, rng):
+        layer = Conv2D(4, kernel_size=3, stride=2, padding="same")
+        layer.build((8, 8, 1), rng)
+        assert layer.output_shape((8, 8, 1)) == (4, 4, 4)
+
+    def test_matches_naive_convolution(self, rng):
+        layer = Conv2D(2, kernel_size=3, padding="valid", use_bias=False)
+        layer.build((5, 5, 1), rng)
+        x = rng.normal(size=(1, 5, 5, 1))
+        out = layer.forward(x)
+        w = layer.params["W"]
+        naive = np.zeros((1, 3, 3, 2))
+        for i in range(3):
+            for j in range(3):
+                patch = x[0, i : i + 3, j : j + 3, :]
+                for f in range(2):
+                    naive[0, i, j, f] = np.sum(patch * w[:, :, :, f])
+        np.testing.assert_allclose(out, naive, atol=1e-12)
+
+    def test_input_gradient(self, rng):
+        layer = Conv2D(3, kernel_size=3, padding="same")
+        layer.build((5, 5, 2), rng)
+        check_input_gradient(layer, rng.normal(size=(2, 5, 5, 2)), atol=1e-4)
+
+    def test_weight_gradient(self, rng):
+        layer = Conv2D(2, kernel_size=3, padding="valid")
+        layer.build((5, 5, 1), rng)
+        check_param_gradient(layer, rng.normal(size=(2, 5, 5, 1)), "W", atol=1e-4)
+
+    def test_invalid_padding(self):
+        with pytest.raises(ValueError):
+            Conv2D(4, padding="full")
+
+
+class TestDepthwiseConv2D:
+    def test_shape_preserves_channels(self, rng):
+        layer = DepthwiseConv2D(kernel_size=3, padding="same")
+        layer.build((6, 6, 3), rng)
+        assert layer.output_shape((6, 6, 3)) == (6, 6, 3)
+        out = layer.forward(rng.normal(size=(2, 6, 6, 3)))
+        assert out.shape == (2, 6, 6, 3)
+
+    def test_channels_independent(self, rng):
+        layer = DepthwiseConv2D(kernel_size=3, padding="same", use_bias=False)
+        layer.build((6, 6, 2), rng)
+        x = rng.normal(size=(1, 6, 6, 2))
+        out = layer.forward(x)
+        # Zeroing channel 1 of the input must not change channel 0 of the output.
+        x2 = x.copy()
+        x2[..., 1] = 0.0
+        out2 = layer.forward(x2)
+        np.testing.assert_allclose(out[..., 0], out2[..., 0])
+
+    def test_input_gradient(self, rng):
+        layer = DepthwiseConv2D(kernel_size=3, padding="same")
+        layer.build((5, 5, 2), rng)
+        check_input_gradient(layer, rng.normal(size=(2, 5, 5, 2)), atol=1e-4)
+
+    def test_weight_gradient(self, rng):
+        layer = DepthwiseConv2D(kernel_size=3, padding="valid")
+        layer.build((5, 5, 2), rng)
+        check_param_gradient(layer, rng.normal(size=(2, 5, 5, 2)), "W", atol=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im
+# ---------------------------------------------------------------------------
+
+class TestIm2Col:
+    def test_roundtrip_is_adjoint(self, rng):
+        """<im2col(x), y> must equal <x, col2im(y)> (adjoint property)."""
+        x = rng.normal(size=(2, 6, 6, 3))
+        cols, oh, ow = im2col(x, 3, 3, 1, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        back = col2im(y, x.shape, 3, 3, 1, 1)
+        rhs = float(np.sum(x * back))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_output_dims(self, rng):
+        x = rng.normal(size=(1, 8, 8, 2))
+        cols, oh, ow = im2col(x, 3, 3, 2, 0)
+        assert (oh, ow) == (3, 3)
+        assert cols.shape == (9, 18)
+
+
+# ---------------------------------------------------------------------------
+# Pooling / BatchNorm / Dropout / Flatten
+# ---------------------------------------------------------------------------
+
+class TestPooling:
+    def test_maxpool_values(self, rng):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.ravel(), [5, 7, 13, 15])
+
+    def test_maxpool_gradient(self, rng):
+        layer = MaxPool2D(2)
+        check_input_gradient(layer, rng.normal(size=(2, 4, 4, 3)), atol=1e-5)
+
+    def test_avgpool_values(self):
+        layer = AvgPool2D(2)
+        x = np.ones((1, 4, 4, 2))
+        np.testing.assert_allclose(layer.forward(x), np.ones((1, 2, 2, 2)))
+
+    def test_avgpool_gradient(self, rng):
+        layer = AvgPool2D(2)
+        check_input_gradient(layer, rng.normal(size=(2, 4, 4, 2)))
+
+    def test_global_avgpool(self, rng):
+        layer = GlobalAvgPool2D()
+        x = rng.normal(size=(3, 5, 5, 4))
+        np.testing.assert_allclose(layer.forward(x), x.mean(axis=(1, 2)))
+        check_input_gradient(layer, rng.normal(size=(2, 3, 3, 2)))
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self, rng):
+        layer = BatchNorm()
+        layer.build((6,), rng)
+        x = rng.normal(loc=3.0, scale=2.0, size=(200, 6))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm(momentum=0.0)
+        layer.build((4,), rng)
+        x = rng.normal(loc=1.0, size=(100, 4))
+        layer.forward(x, training=True)  # populates running stats fully (momentum 0)
+        out = layer.forward(x, training=False)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_gradient(self, rng):
+        layer = BatchNorm()
+        layer.build((3,), rng)
+        check_input_gradient(layer, rng.normal(size=(6, 3)), atol=1e-4)
+
+    def test_nhwc_input(self, rng):
+        layer = BatchNorm()
+        layer.build((4, 4, 3), rng)
+        out = layer.forward(rng.normal(size=(2, 4, 4, 3)), training=True)
+        assert out.shape == (2, 4, 4, 3)
+
+
+class TestDropoutFlattenActivation:
+    def test_dropout_inference_identity(self, rng):
+        layer = Dropout(0.5, seed=0)
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_dropout_training_masks(self, rng):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((10, 100))
+        out = layer.forward(x, training=True)
+        zero_fraction = np.mean(out == 0.0)
+        assert 0.3 < zero_fraction < 0.7
+        # Inverted dropout keeps the expectation roughly constant.
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 4, 5, 2))
+        out = layer.forward(x)
+        assert out.shape == (3, 40)
+        grad = layer.backward(out)
+        assert grad.shape == x.shape
+
+    def test_activation_layer(self, rng):
+        layer = Activation("relu")
+        x = rng.normal(size=(5, 7))
+        np.testing.assert_allclose(layer.forward(x), np.maximum(x, 0))
+        check_input_gradient(layer, rng.normal(size=(5, 7)))

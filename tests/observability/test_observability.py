@@ -1,0 +1,237 @@
+"""Tests for drift detectors, sketches, telemetry, privacy and alerting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DriftingStream, DriftSpec, make_gaussian_blobs
+from repro.observability import (
+    AlertEngine,
+    AlertRule,
+    CountMinSketch,
+    EdgeMonitor,
+    JSDetector,
+    KSDetector,
+    MMDDetector,
+    P2Quantile,
+    PredictionDistributionMonitor,
+    PSIDetector,
+    QueryRecord,
+    ReservoirSample,
+    RunningMoments,
+    StreamingHistogram,
+    TelemetryAggregator,
+    TelemetryRecorder,
+    debias_histogram,
+    epsilon_for_flip_probability,
+    jensen_shannon_divergence,
+    ks_statistic,
+    laplace_mechanism,
+    mmd_rbf,
+    population_stability_index,
+    privatize_histogram,
+    randomized_response,
+)
+
+
+class TestDistances:
+    def test_identical_samples_near_zero(self, rng):
+        x = rng.normal(size=2000)
+        stat, p = ks_statistic(x[:1000], x[1000:])
+        assert stat < 0.1 and p > 0.01
+        assert population_stability_index(x[:1000], x[1000:]) < 0.1
+        assert jensen_shannon_divergence(x[:1000], x[1000:]) < 0.1
+
+    def test_shifted_samples_large_distance(self, rng):
+        a = rng.normal(size=1000)
+        b = rng.normal(loc=3.0, size=1000)
+        assert ks_statistic(a, b)[0] > 0.5
+        assert population_stability_index(a, b) > 1.0
+        assert jensen_shannon_divergence(a, b) > 0.3
+
+    def test_mmd_detects_multivariate_shift(self, rng):
+        a = rng.normal(size=(300, 5))
+        b = rng.normal(size=(300, 5))
+        c = rng.normal(loc=1.5, size=(300, 5))
+        assert mmd_rbf(a, c, seed=0) > mmd_rbf(a, b, seed=0)
+
+    def test_empty_inputs(self):
+        stat, p = ks_statistic(np.array([]), np.array([1.0]))
+        assert stat == 0.0 and p == 1.0
+
+
+class TestStreamingDetectors:
+    @pytest.mark.parametrize("detector_cls", [KSDetector, PSIDetector, JSDetector, MMDDetector])
+    def test_detects_covariate_drift(self, detector_cls):
+        ds = make_gaussian_blobs(2000, 8, 3, seed=0)
+        detector = detector_cls(ds.x[:500])
+        stream = DriftingStream(ds, batch_size=128, specs=[DriftSpec(start=10, magnitude=2.5)], seed=1)
+        for x, _, _ in stream.batches(20):
+            detector.check(x)
+        assert detector.detection_delay(10) is not None
+        assert detector.false_positive_rate(10) <= 0.2
+
+    def test_no_drift_no_alarm(self):
+        ds = make_gaussian_blobs(2000, 8, 3, seed=0)
+        detector = KSDetector(ds.x[:500])
+        stream = DriftingStream(ds, batch_size=128, seed=2)
+        for x, _, _ in stream.batches(15):
+            detector.check(x)
+        assert detector.false_positive_rate() <= 0.2
+
+    def test_prediction_distribution_monitor(self, rng):
+        ref = rng.integers(0, 4, size=1000)
+        monitor = PredictionDistributionMonitor(ref, num_classes=4)
+        same = monitor.check(rng.integers(0, 4, size=200))
+        skew = monitor.check(np.zeros(200, dtype=int))
+        assert not same.drifted and skew.drifted
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            KSDetector(np.array([]))
+
+
+class TestSketches:
+    def test_running_moments_match_numpy(self, rng):
+        values = rng.normal(3.0, 2.0, size=5000)
+        m = RunningMoments()
+        m.update_batch(values)
+        assert m.mean == pytest.approx(values.mean())
+        assert m.variance == pytest.approx(values.var(), rel=1e-6)
+
+    def test_running_moments_merge_equals_bulk(self, rng):
+        values = rng.normal(size=2000)
+        a, b, c = RunningMoments(), RunningMoments(), RunningMoments()
+        a.update_batch(values[:700])
+        b.update_batch(values[700:])
+        c.update_batch(values)
+        a.merge(b)
+        assert a.mean == pytest.approx(c.mean)
+        assert a.variance == pytest.approx(c.variance, rel=1e-9)
+
+    def test_reservoir_capacity_and_coverage(self, rng):
+        r = ReservoirSample(capacity=100, seed=0)
+        r.update(np.arange(10000))
+        assert len(r) == 100 and r.seen == 10000
+        assert r.values().max() > 5000  # late items do get sampled
+
+    def test_count_min_upper_bound(self):
+        sketch = CountMinSketch(width=128, depth=4, seed=0)
+        for i in range(50):
+            sketch.add(f"item-{i % 5}")
+        for i in range(5):
+            assert sketch.estimate(f"item-{i}") >= 10
+
+    def test_count_min_merge(self):
+        a = CountMinSketch(width=64, depth=3, seed=1)
+        b = CountMinSketch(width=64, depth=3, seed=1)
+        a.add("x", 3)
+        b.add("x", 4)
+        a.merge(b)
+        assert a.estimate("x") >= 7
+        with pytest.raises(ValueError):
+            a.merge(CountMinSketch(width=32, depth=3, seed=1))
+
+    def test_streaming_histogram_density_and_merge(self, rng):
+        h1 = StreamingHistogram(-3, 3, bins=16)
+        h2 = StreamingHistogram(-3, 3, bins=16)
+        h1.update(rng.normal(size=1000))
+        h2.update(rng.normal(size=1000))
+        h1.merge(h2)
+        assert h1.total == 2000
+        assert h1.density().sum() == pytest.approx(1.0)
+
+    def test_p2_quantile_accuracy(self, rng):
+        values = rng.normal(size=20000)
+        q = P2Quantile(0.95)
+        q.update(values)
+        assert q.value == pytest.approx(np.quantile(values, 0.95), abs=0.08)
+
+    def test_p2_quantile_few_samples(self):
+        q = P2Quantile(0.5)
+        q.update([1.0, 2.0, 3.0])
+        assert q.value == pytest.approx(2.0)
+
+
+class TestTelemetry:
+    def test_recorder_constant_payload(self):
+        rec = TelemetryRecorder("dev-1", model_version="v1", num_classes=4)
+        size_before = rec.estimated_payload_bytes()
+        for i in range(500):
+            rec.record(QueryRecord(latency_s=0.01, energy_j=1e-3, memory_bytes=1e4, predicted_class=i % 4))
+        assert rec.estimated_payload_bytes() == size_before
+        report = rec.build_report()
+        assert report.n_queries == 500
+        assert sum(report.prediction_histogram.values()) == 500
+
+    def test_aggregator_summary_and_slow_devices(self):
+        agg = TelemetryAggregator()
+        fast = TelemetryRecorder("fast", "v1", 2)
+        slow = TelemetryRecorder("slow", "v1", 2)
+        fast.record_batch(np.full(100, 0.001), np.zeros(100), np.zeros(100), np.zeros(100, dtype=int))
+        slow.record_batch(np.full(100, 0.5), np.zeros(100), np.zeros(100), np.ones(100, dtype=int))
+        agg.ingest(fast.build_report())
+        agg.ingest(slow.build_report())
+        summary = agg.fleet_summary()
+        assert summary["n_devices"] == 2 and summary["n_queries"] == 200
+        assert agg.slow_devices(0.1) == ["slow"]
+        assert agg.prediction_distribution() == {0: 100, 1: 100}
+
+
+class TestPrivacy:
+    def test_randomized_response_flip_rate(self, rng):
+        bits = rng.random(20000) < 0.5
+        noisy = randomized_response(bits, epsilon=1.0, seed=0)
+        flip_rate = np.mean(noisy != bits)
+        expected = 1.0 / (np.exp(1.0) + 1.0)
+        assert flip_rate == pytest.approx(expected, abs=0.02)
+
+    def test_histogram_debiasing_recovers_distribution(self, rng):
+        labels = rng.choice(4, size=20000, p=[0.5, 0.3, 0.15, 0.05])
+        noisy = privatize_histogram(labels, 4, epsilon=1.5, seed=0)
+        est = debias_histogram(noisy, 1.5)
+        true = np.bincount(labels, minlength=4)
+        np.testing.assert_allclose(est / est.sum(), true / true.sum(), atol=0.05)
+
+    def test_epsilon_from_flip_probability(self):
+        assert epsilon_for_flip_probability(0.25) == pytest.approx(np.log(3.0))
+        with pytest.raises(ValueError):
+            epsilon_for_flip_probability(0.6)
+
+    def test_laplace_mechanism_noise_scale(self, rng):
+        noisy = laplace_mechanism(np.zeros(20000), sensitivity=1.0, epsilon=2.0, seed=0)
+        assert np.mean(np.abs(noisy)) == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            randomized_response(np.array([True]), epsilon=0.0)
+
+
+class TestMonitorAndAlerts:
+    def test_edge_monitor_detects_drift_and_records_telemetry(self):
+        ds = make_gaussian_blobs(2000, 8, 3, seed=0)
+        monitor = EdgeMonitor("dev-1", ds.x[:400], reference_predictions=ds.y[:400], num_classes=3, detectors=("ks",))
+        stream = DriftingStream(ds, batch_size=96, specs=[DriftSpec(start=8, magnitude=2.5)], seed=3)
+        for x, y, _ in stream.batches(16):
+            monitor.observe_window(x, predictions=y, latencies=np.full(96, 0.01))
+        assert monitor.any_drift()
+        report = monitor.build_report()
+        assert report.n_queries == 16 * 96
+
+    def test_edge_monitor_unknown_detector(self):
+        with pytest.raises(KeyError):
+            EdgeMonitor("d", np.zeros((10, 2)), detectors=("magic",))
+
+    def test_alert_engine_rules(self):
+        engine = AlertEngine.default_rules(latency_budget_s=0.05, drift_rate_threshold=0.3)
+        ok = engine.evaluate({"latency_mean": 0.01, "drift_fraction": 0.0})
+        assert ok == []
+        raised = engine.evaluate({"latency_mean": 0.2, "drift_fraction": 0.5})
+        assert {a.rule for a in raised} == {"latency_budget", "drift_rate"}
+        assert len(engine.alerts) == 2
+
+    def test_custom_alert_rule(self):
+        rule = AlertRule("battery", lambda m: m.get("soc", 1.0) < 0.1, severity="critical")
+        assert rule.evaluate({"soc": 0.05}) is not None
+        assert rule.evaluate({"soc": 0.9}) is None

@@ -1,0 +1,167 @@
+"""Tests for the artifact store, model registry, lineage and pipeline triggers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import make_mlp
+from repro.registry import (
+    ArtifactStore,
+    ModelRegistry,
+    OptimizationPipeline,
+    TriggerManager,
+    VariantRecipe,
+)
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip(self):
+        store = ArtifactStore()
+        record = store.put(b"hello", kind="blob", name="greeting")
+        assert store.get(record.digest) == b"hello"
+        assert record.size_bytes == 5
+
+    def test_deduplication(self):
+        store = ArtifactStore()
+        a = store.put(b"same")
+        b = store.put(b"same")
+        assert a.digest == b.digest and len(store) == 1
+
+    def test_object_roundtrip(self):
+        store = ArtifactStore()
+        record = store.put_object({"a": 1})
+        assert store.get_object(record.digest) == {"a": 1}
+
+    def test_missing_digest(self):
+        with pytest.raises(KeyError):
+            ArtifactStore().get("0" * 64)
+
+    def test_verify_integrity(self):
+        store = ArtifactStore()
+        record = store.put(b"data")
+        assert store.verify(record.digest)
+        assert not store.verify("0" * 64)
+
+    def test_disk_persistence(self, tmp_path):
+        store = ArtifactStore(root=str(tmp_path))
+        record = store.put(b"persisted")
+        fresh = ArtifactStore(root=str(tmp_path))
+        assert fresh.get(record.digest) == b"persisted"
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            ArtifactStore().put("not-bytes")  # type: ignore[arg-type]
+
+
+class TestModelRegistry:
+    def test_register_and_load_model(self, trained_mlp, blobs):
+        _, test = blobs
+        registry = ModelRegistry()
+        version = registry.register_model(trained_mlp)
+        loaded = registry.load_model(version.version_id)
+        np.testing.assert_allclose(loaded.forward(test.x[:4]), trained_mlp.forward(test.x[:4]))
+
+    def test_version_ids_increment(self, trained_mlp):
+        registry = ModelRegistry()
+        v1 = registry.register_model(trained_mlp)
+        v2 = registry.register_model(trained_mlp)
+        assert v1.version_id.endswith(":1") and v2.version_id.endswith(":2")
+
+    def test_lineage_queries(self, trained_mlp):
+        registry = ModelRegistry()
+        base = registry.register_model(trained_mlp)
+        child = registry.register_model(trained_mlp, kind="quantized", parents=(base.version_id,))
+        grandchild = registry.register_model(trained_mlp, kind="watermarked", parents=(child.version_id,))
+        descendants = {v.version_id for v in registry.derived_from(base.version_id)}
+        assert descendants == {child.version_id, grandchild.version_id}
+        ancestors = {v.version_id for v in registry.ancestry(grandchild.version_id)}
+        assert ancestors == {base.version_id, child.version_id}
+
+    def test_unknown_parent_rejected(self, trained_mlp):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.register_model(trained_mlp, parents=("ghost:1",))
+
+    def test_latest_and_kind_filter(self, trained_mlp):
+        registry = ModelRegistry()
+        base = registry.register_model(trained_mlp)
+        registry.register_model(trained_mlp, kind="quantized", parents=(base.version_id,))
+        assert registry.latest(trained_mlp.name, kind="base").version_id == base.version_id
+
+    def test_find_by_tag(self, trained_mlp):
+        registry = ModelRegistry()
+        registry.register_model(trained_mlp, tags={"bits": 8})
+        registry.register_model(trained_mlp, tags={"bits": 4})
+        assert len(registry.find_by_tag(bits=8)) == 1
+
+    def test_deployments(self, trained_mlp):
+        registry = ModelRegistry()
+        v = registry.register_model(trained_mlp)
+        registry.record_deployment("dev-1", v.version_id)
+        registry.record_deployment("dev-2", v.version_id)
+        assert registry.devices_running(v.version_id) == ["dev-1", "dev-2"]
+        assert registry.deployment_histogram(trained_mlp.name) == {v.version_id: 2}
+        assert registry.deployed_version("dev-1", trained_mlp.name) == v.version_id
+
+    def test_stale_variants_after_retrain(self, trained_mlp):
+        registry = ModelRegistry()
+        base1 = registry.register_model(trained_mlp)
+        derived = registry.register_model(trained_mlp, kind="quantized", parents=(base1.version_id,))
+        registry.register_model(trained_mlp)  # new base (retrained)
+        stale = registry.stale_variants(trained_mlp.name)
+        assert [v.version_id for v in stale] == [derived.version_id]
+
+    def test_stats(self, trained_mlp):
+        registry = ModelRegistry()
+        registry.register_model(trained_mlp)
+        stats = registry.stats()
+        assert stats["n_versions"] == 1 and stats["n_models"] == 1
+
+
+class TestTriggers:
+    def test_standard_pipeline_generates_variants(self, trained_mlp):
+        registry = ModelRegistry()
+        manager = TriggerManager(registry)
+        manager.subscribe(trained_mlp.name, OptimizationPipeline.standard(bit_widths=(8, 4), sparsities=(0.5,)))
+        base, derived = manager.register_and_trigger(trained_mlp)
+        assert len(derived) == 3
+        kinds = {v.kind for v in derived}
+        assert kinds == {"quantized", "pruned"}
+        for v in derived:
+            assert v.parents == (base.version_id,)
+
+    def test_trigger_without_subscription_is_noop(self, trained_mlp):
+        manager = TriggerManager(ModelRegistry())
+        base, derived = manager.register_and_trigger(trained_mlp)
+        assert derived == []
+
+    def test_custom_recipe(self, trained_mlp):
+        registry = ModelRegistry()
+        manager = TriggerManager(registry)
+
+        def builder(model):
+            return model.to_bytes(), {"note": "identity"}
+
+        manager.subscribe(trained_mlp.name, OptimizationPipeline("custom", [VariantRecipe("copy", "mirrored", builder)]))
+        _, derived = manager.register_and_trigger(trained_mlp)
+        assert derived[0].kind == "mirrored" and derived[0].tags["recipe"] == "copy"
+
+    def test_retrain_retriggers_and_marks_stale(self, trained_mlp):
+        registry = ModelRegistry()
+        manager = TriggerManager(registry)
+        manager.subscribe(trained_mlp.name, OptimizationPipeline.standard(bit_widths=(8,), sparsities=()))
+        manager.register_and_trigger(trained_mlp)
+        retrained = trained_mlp.clone(copy_weights=True)
+        retrained.layers[0].params["W"] += 0.01
+        manager.register_and_trigger(retrained)
+        assert len(registry.stale_variants(trained_mlp.name)) == 1
+        assert len(manager.trigger_log) == 2
+
+    def test_on_base_registered_requires_base(self, trained_mlp):
+        registry = ModelRegistry()
+        manager = TriggerManager(registry)
+        base = registry.register_model(trained_mlp)
+        derived = registry.register_model(trained_mlp, kind="quantized", parents=(base.version_id,))
+        with pytest.raises(ValueError):
+            manager.on_base_registered(derived)

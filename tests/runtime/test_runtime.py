@@ -1,0 +1,203 @@
+"""Tests for modules, sandbox, pipelines, orchestration and offloading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import Fleet, NetworkCondition, NetworkType, get_profile
+from repro.exchange import Compiler, from_sequential
+from repro.nn import make_mlp
+from repro.runtime import (
+    Capability,
+    ConditionalStage,
+    Module,
+    OffloadBid,
+    OffloadMarketplace,
+    Orchestrator,
+    Pipeline,
+    RolloutPlan,
+    Sandbox,
+    SandboxViolation,
+    argmax_module,
+    find_best_split,
+    graph_module,
+    model_module,
+    normalize_module,
+    softmax_module,
+    threshold_module,
+)
+
+
+class TestModulesAndSandbox:
+    def test_normalize_module(self, rng):
+        x = rng.normal(loc=5.0, scale=2.0, size=(100, 4))
+        module = normalize_module(mean=x.mean(axis=0), std=x.std(axis=0))
+        out = module(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_threshold_and_argmax(self):
+        assert threshold_module(0.5)(np.array([0.2, 0.7])).tolist() == [0.0, 1.0]
+        assert argmax_module()(np.array([[0.1, 0.9], [0.8, 0.2]])).tolist() == [1, 0]
+
+    def test_softmax_module_normalizes(self, rng):
+        out = softmax_module()(rng.normal(size=(5, 3)))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_model_module_matches_model(self, trained_mlp, blobs):
+        _, test = blobs
+        module = model_module(trained_mlp)
+        np.testing.assert_allclose(module(test.x[:8]), trained_mlp.forward(test.x[:8]))
+        assert module.size_bytes == trained_mlp.num_params() * 4
+
+    def test_graph_module_matches_compiled_graph(self, trained_mlp, blobs):
+        _, test = blobs
+        artifact = Compiler().compile(from_sequential(trained_mlp), get_profile("phone-mid"), bits=8)
+        module = graph_module(artifact.graph)
+        ref = trained_mlp.forward(test.x[:16]).argmax(axis=1)
+        assert np.mean(module(test.x[:16]).argmax(axis=1) == ref) > 0.9
+
+    def test_module_digest_changes_with_capabilities(self):
+        a = Module("m", fn=lambda x: x)
+        b = Module("m", fn=lambda x: x, requires=frozenset({Capability.COMPUTE, Capability.NETWORK}))
+        assert a.digest() != b.digest()
+
+    def test_sandbox_blocks_missing_capability(self, rng):
+        camera_module = Module("camera-reader", fn=lambda x: x, requires=frozenset({Capability.SENSOR_CAMERA}))
+        sandbox = Sandbox(granted=(Capability.COMPUTE,), device_id="dev-1")
+        assert not sandbox.can_run(camera_module)
+        with pytest.raises(SandboxViolation):
+            sandbox.run(camera_module, rng.normal(size=(2, 2)))
+
+    def test_sandbox_allows_and_logs(self, rng):
+        sandbox = Sandbox(granted=(Capability.COMPUTE,))
+        sandbox.run(normalize_module(), rng.normal(size=(3, 2)))
+        assert len(sandbox.execution_log) == 1
+
+    def test_sandbox_unknown_capability(self):
+        with pytest.raises(ValueError):
+            Sandbox(granted=("root",))
+
+
+class TestPipeline:
+    def test_full_pipeline_accuracy(self, trained_mlp, blobs):
+        _, test = blobs
+        pipeline = Pipeline([model_module(trained_mlp), softmax_module(), argmax_module()], name="clf")
+        preds = pipeline.run(test.x)
+        assert np.mean(preds == test.y) > 0.9
+
+    def test_cascade_routes_by_confidence(self, trained_mlp, blobs):
+        train, test = blobs
+        small = make_mlp(12, 4, hidden=(4,), seed=50)
+        small.fit(train.x, train.y, epochs=2, lr=0.02)
+        cascade = Pipeline(
+            [
+                ConditionalStage(
+                    "escalate",
+                    predicate=lambda x: np.linalg.norm(x, axis=1) < np.median(np.linalg.norm(x, axis=1)),
+                    if_true=Pipeline([model_module(small)], name="cheap"),
+                    if_false=Pipeline([model_module(trained_mlp)], name="accurate"),
+                ),
+                argmax_module(),
+            ],
+            name="cascade",
+        )
+        preds = cascade.run(test.x)
+        assert preds.shape == (len(test.x),)
+        assert np.mean(preds == test.y) > 0.5
+
+    def test_manifest_and_capabilities(self, trained_mlp):
+        pipeline = Pipeline([normalize_module(), model_module(trained_mlp)], name="p")
+        manifest = pipeline.manifest()
+        assert manifest["stages"] == ["normalize", "fixture_mlp"]
+        assert manifest["capabilities"] == ["compute"]
+        assert pipeline.size_bytes() > trained_mlp.num_params()
+
+    def test_pipeline_respects_sandbox(self, trained_mlp, blobs):
+        _, test = blobs
+        net_module = Module("uploader", fn=lambda x: x, requires=frozenset({Capability.NETWORK}))
+        pipeline = Pipeline([model_module(trained_mlp), net_module], name="leaky")
+        with pytest.raises(SandboxViolation):
+            pipeline.run(test.x[:4], sandbox=Sandbox(granted=(Capability.COMPUTE,)))
+
+
+class TestOrchestration:
+    def test_place_everywhere_on_capable_fleet(self, trained_mlp):
+        fleet = Fleet.random(25, seed=5)
+        orchestrator = Orchestrator(fleet)
+        pipeline = Pipeline([model_module(trained_mlp)], name="wake")
+        result = orchestrator.place_everywhere(pipeline)
+        assert result["placed"] == 25
+        assert orchestrator.coverage("wake") == 1.0
+
+    def test_storage_constraint_blocks_placement(self):
+        fleet = Fleet.random(5, mix={"mcu-m0": 1.0}, seed=1)
+        orchestrator = Orchestrator(fleet)
+        huge = Pipeline([Module("blob", fn=lambda x: x, size_bytes=10**9)], name="huge")
+        result = orchestrator.place_everywhere(huge)
+        assert result["placed"] == 0 and result["failed"] == 5
+
+    def test_capability_constraint_blocks_placement(self, trained_mlp):
+        fleet = Fleet.random(3, seed=2)
+        orchestrator = Orchestrator(fleet)
+        for device in fleet:
+            orchestrator.grant_capabilities(device.device_id, (Capability.COMPUTE,))
+        needs_network = Pipeline(
+            [Module("uplink", fn=lambda x: x, requires=frozenset({Capability.NETWORK}))], name="uplink"
+        )
+        result = orchestrator.place_everywhere(needs_network)
+        assert result["placed"] == 0
+
+    def test_rollout_completes_when_healthy(self, trained_mlp):
+        fleet = Fleet.random(20, seed=3)
+        orchestrator = Orchestrator(fleet)
+        plan = RolloutPlan(orchestrator, Pipeline([model_module(trained_mlp)], name="v2", version="2.0"), stages=[0.1, 0.5, 1.0])
+        outcome = plan.execute(lambda devices: True)
+        assert outcome["status"] == "completed" and outcome["updated_devices"] == 20
+
+    def test_rollout_rolls_back_on_bad_canary(self, trained_mlp):
+        fleet = Fleet.random(20, seed=4)
+        orchestrator = Orchestrator(fleet)
+        old = Pipeline([model_module(trained_mlp)], name="wake", version="1.0")
+        orchestrator.place_everywhere(old)
+        new = Pipeline([model_module(trained_mlp)], name="wake-v2", version="2.0")
+        plan = RolloutPlan(orchestrator, new, previous_pipeline=old, stages=[0.1, 1.0])
+        outcome = plan.execute(lambda devices: False)
+        assert outcome["status"] == "rolled_back"
+        assert orchestrator.devices_running("wake-v2") == []
+
+
+class TestOffloading:
+    def test_marketplace_prefers_fast_local_server(self):
+        market = OffloadMarketplace()
+        market.register_bid(OffloadBid("edge", get_profile("edge-server"), 0.01, NetworkCondition.of(NetworkType.WIFI)))
+        market.register_bid(OffloadBid("cloud", get_profile("cloud"), 0.001, NetworkCondition.of(NetworkType.CELLULAR)))
+        decision = market.place_workload(flops=1e9, payload_bytes=5e6, objective="latency")
+        assert decision.device_id == "edge"
+
+    def test_marketplace_price_objective_and_payouts(self):
+        market = OffloadMarketplace()
+        market.register_bid(OffloadBid("cheap", get_profile("phone-flagship"), 0.001, NetworkCondition.of(NetworkType.WIFI)))
+        market.register_bid(OffloadBid("pricey", get_profile("edge-server"), 1.0, NetworkCondition.of(NetworkType.WIFI)))
+        decision = market.place_workload(flops=1e9, payload_bytes=1e4, objective="price")
+        assert decision.device_id == "cheap"
+        assert "cheap" in market.payouts()
+
+    def test_marketplace_skips_offline_bidders(self):
+        market = OffloadMarketplace()
+        market.register_bid(OffloadBid("island", get_profile("edge-server"), 0.01, NetworkCondition.of(NetworkType.OFFLINE)))
+        assert market.place_workload(1e9, 1e4) is None
+
+    def test_split_search_bounds(self, trained_cnn):
+        graph = from_sequential(trained_cnn)
+        decision = find_best_split(graph, get_profile("mcu-m4"), get_profile("cloud"), NetworkCondition.of(NetworkType.CELLULAR))
+        assert -1 <= decision.split_after < len(graph)
+        assert decision.total_latency_s <= decision.all_edge_latency_s + 1e-12
+        assert decision.total_latency_s <= decision.all_cloud_latency_s + 1e-12
+
+    def test_split_prefers_edge_when_offline_ish(self, trained_cnn):
+        graph = from_sequential(trained_cnn)
+        slow = NetworkCondition.of(NetworkType.LPWAN)
+        decision = find_best_split(graph, get_profile("phone-flagship"), get_profile("cloud"), slow)
+        # With a very slow uplink, running everything on a capable edge device wins.
+        assert decision.split_after == len(graph) - 1
