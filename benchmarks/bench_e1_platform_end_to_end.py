@@ -3,16 +3,25 @@
 Reproduces Figure 1 *structurally*: every functionality block of the paper's
 TinyMLOps overview is exercised in one end-to-end run on a 40-device fleet,
 and the benchmark reports how long a complete platform cycle takes.
+
+Also measures the fleet-scale serving path: the batched
+:class:`~repro.core.serving.ServingEngine` against the paper's per-query
+loop on a 10k-query window (target ≥10x), and scenario-diverse fleet
+traffic (steady / bursty / diurnal / overload).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.core import PlatformConfig, TinyMLOpsPlatform
+from repro.billing import BillingBackend, PricingPlan, UsageLedger
+from repro.core import PlatformConfig, TinyMLOpsPlatform, make_scenario
+from repro.core.serving import ServingEngine
 from repro.data import make_gaussian_blobs, partition_dirichlet
-from repro.devices import Fleet
+from repro.devices import Battery, EdgeDevice, Fleet, get_profile
 from repro.nn import make_mlp
 
 
@@ -61,3 +70,92 @@ def test_e1_full_platform_cycle(benchmark):
     assert result["verification_valid"]
     assert result["registry_versions"] >= 5
     benchmark.extra_info.update(result)
+
+
+def _serving_setup(n_queries: int, quota: int, seed: int = 0):
+    """One mains-powered device with a deployed model, ledger and quota."""
+    device = EdgeDevice("dev-0", get_profile("phone-mid"), battery=Battery(plugged_in=True), seed=seed)
+    fleet = Fleet([device])
+    backend = BillingBackend()
+    backend.register_plan(PricingPlan("serve-model", price_per_query=0.0015))
+    key = backend.enroll_device("dev-0")
+    ledger = UsageLedger("dev-0", key)
+    ledger.add_grant(backend.sell_package("dev-0", "serve-model", quota), backend_key=backend.signing_key())
+    model = make_mlp(12, 4, hidden=(32, 16), seed=seed, name="serve-model")
+    engine = ServingEngine(fleet, models={"serve-model": model}, ledgers={"dev-0": ledger})
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n_queries, 12))
+    return engine, ledger, backend, x
+
+
+def test_e1_batched_serving_speedup(benchmark, smoke_mode):
+    """Batched vs. per-query serving on a 10k-query window (≥10x target).
+
+    Two identical single-device worlds serve the same window, one through
+    ``ServingEngine.serve_batch`` and one through the legacy per-query loop;
+    results, ledger state and billed revenue must agree exactly while the
+    batched path is at least an order of magnitude faster.
+    """
+    n_queries = 2_000 if smoke_mode else 10_000
+    quota = int(n_queries * 0.8)  # exercise the quota-denial path too
+
+    def scenario():
+        eng_b, led_b, back_b, x = _serving_setup(n_queries, quota)
+        eng_l, led_l, back_l, _ = _serving_setup(n_queries, quota)
+        t0 = time.perf_counter()
+        batched = eng_b.serve_batch("dev-0", "serve-model", x)
+        t_batched = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        legacy = eng_l.serve_batch_legacy("dev-0", "serve-model", x)
+        t_legacy = time.perf_counter() - t0
+        bill_b = back_b.reconcile(led_b.export())
+        bill_l = back_l.reconcile(led_l.export())
+        return {
+            "n_queries": n_queries,
+            "batched_s": t_batched,
+            "legacy_s": t_legacy,
+            "speedup": t_legacy / max(t_batched, 1e-12),
+            "identical_results": batched.as_dict() == legacy.as_dict(),
+            "identical_usage": led_b.used("serve-model") == led_l.used("serve-model"),
+            "identical_billing": (bill_b.accepted, bill_b.billed_amount) == (bill_l.accepted, bill_l.billed_amount),
+            "served": batched.served,
+            "denied_quota": batched.denied_quota,
+            "queries_per_s_batched": n_queries / max(t_batched, 1e-12),
+        }
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert result["identical_results"] and result["identical_usage"] and result["identical_billing"]
+    assert result["served"] == quota and result["denied_quota"] == n_queries - quota
+    assert result["speedup"] >= 10.0, f"batched serving only {result['speedup']:.1f}x faster"
+    benchmark.extra_info.update(result)
+
+
+def test_e1_fleet_scenario_traffic(benchmark, smoke_mode):
+    """Scenario-diverse fleet serving: steady, bursty, diurnal, overload."""
+    seed = 0
+    n_windows = 2 if smoke_mode else 6
+    ds = make_gaussian_blobs(600, 12, 4, seed=seed)
+    train, test = ds.split(0.3, seed=seed)
+    fleet = Fleet.random(20, seed=seed)
+    platform = TinyMLOpsPlatform(fleet, PlatformConfig(bit_widths=(8,), sparsities=(0.5,), seed=seed))
+    model = make_mlp(12, 4, hidden=(32, 16), seed=seed, name="e1-traffic")
+    model.fit(train.x, train.y, epochs=3, lr=0.01, seed=seed)
+    platform.release(model, test.x, test.y)
+    platform.deploy("e1-traffic", prepaid_queries=5_000)
+    device_ids = list(fleet.devices)
+
+    def scenario():
+        reports = {}
+        for name in ("steady", "bursty", "diurnal", "overload"):
+            windows = make_scenario(name, device_ids, n_windows, test.x, seed=seed)
+            report = platform.serve_fleet("e1-traffic", windows)
+            reports[name] = report.as_dict()
+        return reports
+
+    reports = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    for name, report in reports.items():
+        assert report["requested"] > 0, name
+        assert report["served"] + report["denied_quota"] + report["battery_failures"] == report["requested"]
+    benchmark.extra_info.update(
+        {name: {k: report[k] for k in ("requested", "served", "denied_quota", "battery_failures")} for name, report in reports.items()}
+    )

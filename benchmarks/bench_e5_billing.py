@@ -4,9 +4,14 @@ Expected shape: metering adds microsecond-scale overhead per query (tiny
 compared to model inference), quotas are enforced while fully offline, and
 every tampered ledger (edited, truncated, over-used, rolled back) is rejected
 at reconciliation while honest ledgers are accepted and billed exactly.
+Batched metering (``record_batch``) amortizes the per-query HMAC into one
+aggregated chain entry per grant, turning a 10k-query window into O(#grants)
+work — the large-batch case measures that speedup.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -45,6 +50,57 @@ def test_e5_reconciliation_throughput(benchmark, enrolled):
     result = benchmark(lambda: backend.reconcile(export))
     assert result.accepted
     benchmark.extra_info.update({"entries": result.n_entries, "billed": result.billed_amount})
+
+
+def test_e5_batch_metering_speedup(benchmark, smoke_mode):
+    """``record_batch`` vs. a ``record_query`` loop on a 10k-query window.
+
+    Both paths must leave identical quota state and bill identically at
+    reconciliation; the batched path appends one aggregated entry per grant
+    and must be ≥10x faster.
+    """
+    n_queries = 2_000 if smoke_mode else 10_000
+
+    def fresh_ledger():
+        backend = BillingBackend()
+        backend.register_plan(PricingPlan("vision", price_per_query=0.0015))
+        key = backend.enroll_device("dev-1")
+        ledger = UsageLedger("dev-1", key)
+        # Several grants so the batch path exercises multi-grant consumption.
+        for size in (n_queries // 2, n_queries // 2, n_queries):
+            ledger.add_grant(backend.sell_package("dev-1", "vision", size), backend_key=backend.signing_key())
+        return backend, ledger
+
+    def scenario():
+        backend_b, ledger_b = fresh_ledger()
+        backend_l, ledger_l = fresh_ledger()
+        t0 = time.perf_counter()
+        granted = ledger_b.record_batch("vision", n_queries)
+        t_batch = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(n_queries):
+            ledger_l.record_query("vision")
+        t_loop = time.perf_counter() - t0
+        bill_b = backend_b.reconcile(ledger_b.export())
+        bill_l = backend_l.reconcile(ledger_l.export())
+        return {
+            "n_queries": n_queries,
+            "granted": granted,
+            "batch_s": t_batch,
+            "loop_s": t_loop,
+            "speedup": t_loop / max(t_batch, 1e-12),
+            "batch_entries": len(ledger_b.entries),
+            "loop_entries": len(ledger_l.entries),
+            "identical_usage": ledger_b.used("vision") == ledger_l.used("vision"),
+            "identical_billing": (bill_b.accepted, bill_b.billed_amount) == (bill_l.accepted, bill_l.billed_amount),
+        }
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert result["granted"] == n_queries
+    assert result["batch_entries"] == 2 and result["loop_entries"] == n_queries
+    assert result["identical_usage"] and result["identical_billing"]
+    assert result["speedup"] >= 10.0, f"batched metering only {result['speedup']:.1f}x faster"
+    benchmark.extra_info.update(result)
 
 
 def test_e5_offline_quota_enforced_and_tampering_detected(benchmark):

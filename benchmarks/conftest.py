@@ -1,12 +1,24 @@
-"""Shared fixtures for the experiment benchmarks (E1-E10, see EXPERIMENTS.md)."""
+"""Shared fixtures for the experiment benchmarks (E1-E10, see EXPERIMENTS.md).
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks the heavyweight cases so the whole
+suite finishes in seconds — this is what the CI benchmark-smoke job uses to
+produce the ``BENCH_*.json`` artifacts on every push.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.data import make_gaussian_blobs
 from repro.nn import make_mlp
+
+@pytest.fixture(scope="session")
+def smoke_mode() -> bool:
+    """Whether REPRO_BENCH_SMOKE is set (CI smoke job: shrunken sizes)."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 
 @pytest.fixture(scope="session")

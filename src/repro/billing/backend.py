@@ -16,7 +16,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .metering import LedgerEntry, PricingPlan, QuotaGrant, UsageLedger
+from .metering import LedgerEntry, PricingPlan, QuotaGrant, UsageLedger, entry_payload
 
 __all__ = ["ReconciliationResult", "BillingBackend"]
 
@@ -31,6 +31,7 @@ class ReconciliationResult:
     n_new_entries: int
     issues: List[str] = field(default_factory=list)
     billed_amount: float = 0.0
+    n_new_queries: int = 0
 
 
 class BillingBackend:
@@ -42,6 +43,11 @@ class BillingBackend:
         self.device_keys: Dict[str, bytes] = {}
         self.issued_grants: Dict[str, QuotaGrant] = {}
         self.synced_counts: Dict[str, int] = {}
+        # Per-device, per-model cumulative query totals at the last accepted
+        # sync.  Billing works on deltas of these totals (not on entry
+        # slices), so rewriting the count of an already-synced batch entry
+        # cannot smuggle queries past metering.
+        self.synced_queries: Dict[str, Dict[str, int]] = {}
         self.revenue: float = 0.0
         self.reconciliations: List[ReconciliationResult] = []
         self._grant_counter = 0
@@ -85,7 +91,12 @@ class BillingBackend:
         1. the MAC chain verifies under the device's provisioned key;
         2. every referenced grant was actually issued to this device;
         3. per-grant usage does not exceed the granted quota;
-        4. the entry count is not lower than at the previous sync (rollback).
+        4. neither the entry count nor any model's cumulative query count is
+           lower than at the previous sync (rollback).
+
+        New usage is billed on per-model query-count deltas relative to the
+        previous accepted sync, so batch-entry counts cannot be rewritten to
+        dodge metering.
         """
         device_id = str(ledger_export["device_id"])
         issues: List[str] = []
@@ -97,22 +108,23 @@ class BillingBackend:
             self.reconciliations.append(result)
             return result
 
-        # 1. Recompute the MAC chain.
+        # 1. Recompute the MAC chain.  Entries may be classic single-query
+        # records (no "count" key) or aggregated batch records; the canonical
+        # payload covers the count, so a forged count breaks the chain.
         prev_mac = UsageLedger.GENESIS
         chain_ok = True
         for i, raw in enumerate(entries_raw):
-            payload = json.dumps(
-                {
-                    "index": raw["index"],
-                    "grant_id": raw["grant_id"],
-                    "model_name": raw["model_name"],
-                    "timestamp": raw["timestamp"],
-                    "prev_mac": prev_mac,
-                },
-                sort_keys=True,
-            ).encode()
+            count = int(raw.get("count", 1))
+            payload = entry_payload(
+                int(raw["index"]),
+                str(raw["grant_id"]),
+                str(raw["model_name"]),
+                raw["timestamp"],  # type: ignore[arg-type]
+                prev_mac,
+                count,
+            )
             expected = hmac.new(key, payload, hashlib.sha256).hexdigest()
-            if raw["index"] != i or raw["prev_mac"] != prev_mac or not hmac.compare_digest(expected, str(raw["mac"])):
+            if raw["index"] != i or raw["prev_mac"] != prev_mac or count < 1 or not hmac.compare_digest(expected, str(raw["mac"])):
                 chain_ok = False
                 issues.append(f"MAC chain broken at entry {i}")
                 break
@@ -122,10 +134,11 @@ class BillingBackend:
             self.reconciliations.append(result)
             return result
 
-        # 2 & 3. Grant validity and per-grant limits.
+        # 2 & 3. Grant validity and per-grant limits (batch entries count
+        # for their full aggregated query count).
         per_grant: Dict[str, int] = {}
         for raw in entries_raw:
-            per_grant[str(raw["grant_id"])] = per_grant.get(str(raw["grant_id"]), 0) + 1
+            per_grant[str(raw["grant_id"])] = per_grant.get(str(raw["grant_id"]), 0) + int(raw.get("count", 1))
         for grant_id, used in per_grant.items():
             grant = self.issued_grants.get(grant_id)
             if grant is None or grant.device_id != device_id:
@@ -133,21 +146,48 @@ class BillingBackend:
             elif used > grant.n_queries:
                 issues.append(f"grant {grant_id} over-used: {used} > {grant.n_queries}")
 
-        # 4. Rollback detection.
+        # 4. Rollback detection.  The ledger is append-only, so both the
+        # entry count and every model's cumulative query count must be
+        # monotone across syncs.  A key-holding device *can* re-MAC its own
+        # history, so shrinking (or silently growing) an already-synced
+        # entry's count is only caught by comparing totals against the
+        # previous sync — which is also what billing is computed from.
         previous = self.synced_counts.get(device_id, 0)
         if len(entries_raw) < previous:
             issues.append(f"ledger rollback: {len(entries_raw)} entries < previously synced {previous}")
+        per_model: Dict[str, int] = {}
+        for raw in entries_raw:
+            per_model[str(raw["model_name"])] = per_model.get(str(raw["model_name"]), 0) + int(raw.get("count", 1))
+        previous_queries = self.synced_queries.get(device_id, {})
+        for model_name, prev_total in previous_queries.items():
+            if per_model.get(model_name, 0) < prev_total:
+                issues.append(
+                    f"ledger rollback: model {model_name!r} total {per_model.get(model_name, 0)}"
+                    f" queries < previously synced {prev_total}"
+                )
 
         accepted = not issues
         n_new = max(0, len(entries_raw) - previous)
         billed = 0.0
+        n_new_queries = 0
         if accepted:
             self.synced_counts[device_id] = len(entries_raw)
-            for raw in entries_raw[previous:]:
-                plan = self.plans.get(str(raw["model_name"]))
+            for model_name, total in per_model.items():
+                delta = total - previous_queries.get(model_name, 0)
+                n_new_queries += delta
+                plan = self.plans.get(model_name)
                 if plan is not None:
-                    billed += plan.price_per_query
-        result = ReconciliationResult(device_id, accepted, len(entries_raw), n_new, issues, billed_amount=round(billed, 6))
+                    billed += plan.price_per_query * delta
+            self.synced_queries[device_id] = per_model
+        result = ReconciliationResult(
+            device_id,
+            accepted,
+            len(entries_raw),
+            n_new,
+            issues,
+            billed_amount=round(billed, 6),
+            n_new_queries=n_new_queries,
+        )
         self.reconciliations.append(result)
         return result
 
@@ -160,7 +200,7 @@ class BillingBackend:
             "n_reconciliations": len(self.reconciliations),
             "n_accepted": len(accepted),
             "n_rejected": len(rejected),
-            "total_synced_queries": sum(self.synced_counts.values()),
+            "total_synced_queries": sum(sum(m.values()) for m in self.synced_queries.values()),
             "prepaid_revenue": round(self.revenue, 6),
             "metered_value": round(sum(r.billed_amount for r in accepted), 6),
             "tamper_devices": sorted({r.device_id for r in rejected}),

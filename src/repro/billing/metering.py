@@ -12,6 +12,10 @@ We implement the practical software-only approximation:
 * the backend issues signed :class:`QuotaGrant` tokens (prepaid packages);
 * the on-device :class:`UsageLedger` appends one HMAC-chained entry per
   query, so any retroactive edit or deletion breaks the chain;
+* fleet-scale serving uses :meth:`UsageLedger.record_batch`, which consumes
+  quota for ``n`` queries in O(#grants) by appending *aggregated* chain
+  entries carrying an explicit ``count`` — the count is covered by the MAC,
+  so batching loses none of the tamper evidence;
 * quota enforcement denies queries beyond the granted amount while offline;
 * on reconnection the ledger is uploaded and verified by the backend
   (:class:`BillingBackend`), which detects tampering, double-spends and
@@ -29,7 +33,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["QuotaGrant", "LedgerEntry", "UsageLedger", "QuotaExceededError", "PricingPlan"]
+__all__ = ["QuotaGrant", "LedgerEntry", "UsageLedger", "QuotaExceededError", "PricingPlan", "entry_payload"]
 
 
 class QuotaExceededError(RuntimeError):
@@ -83,9 +87,37 @@ class QuotaGrant:
         return hmac.compare_digest(expected, self.signature)
 
 
+def entry_payload(
+    index: int,
+    grant_id: str,
+    model_name: str,
+    timestamp: float,
+    prev_mac: str,
+    count: int = 1,
+) -> bytes:
+    """Canonical MAC payload of a ledger entry.
+
+    ``count`` is only serialized when it differs from 1, which keeps the
+    payload (and therefore every MAC) of classic single-query entries
+    byte-identical to the pre-batching format.  Aggregated batch entries
+    include their count, so a tampered count always breaks the chain.
+    """
+    body: Dict[str, object] = {
+        "index": index,
+        "grant_id": grant_id,
+        "model_name": model_name,
+        "timestamp": timestamp,
+        "prev_mac": prev_mac,
+    }
+    if count != 1:
+        body["count"] = count
+    return json.dumps(body, sort_keys=True).encode()
+
+
 @dataclass(frozen=True)
 class LedgerEntry:
-    """One metered query in the hash chain."""
+    """One metered query — or an aggregated batch of ``count`` queries —
+    in the hash chain."""
 
     index: int
     grant_id: str
@@ -93,18 +125,12 @@ class LedgerEntry:
     timestamp: float
     prev_mac: str
     mac: str
+    count: int = 1
 
     def payload(self, prev_mac: str) -> bytes:
-        return json.dumps(
-            {
-                "index": self.index,
-                "grant_id": self.grant_id,
-                "model_name": self.model_name,
-                "timestamp": self.timestamp,
-                "prev_mac": prev_mac,
-            },
-            sort_keys=True,
-        ).encode()
+        return entry_payload(
+            self.index, self.grant_id, self.model_name, self.timestamp, prev_mac, self.count
+        )
 
 
 class UsageLedger:
@@ -148,18 +174,36 @@ class UsageLedger:
         return total
 
     # -- metering ---------------------------------------------------------
-    def _next_mac(self, entry_index: int, grant_id: str, model_name: str, timestamp: float, prev_mac: str) -> str:
-        payload = json.dumps(
-            {
-                "index": entry_index,
-                "grant_id": grant_id,
-                "model_name": model_name,
-                "timestamp": timestamp,
-                "prev_mac": prev_mac,
-            },
-            sort_keys=True,
-        ).encode()
+    def _next_mac(
+        self,
+        entry_index: int,
+        grant_id: str,
+        model_name: str,
+        timestamp: float,
+        prev_mac: str,
+        count: int = 1,
+    ) -> str:
+        payload = entry_payload(entry_index, grant_id, model_name, timestamp, prev_mac, count)
         return hmac.new(self._key, payload, hashlib.sha256).hexdigest()
+
+    def _append_entry(self, grant_id: str, model_name: str, timestamp: Optional[float], count: int) -> LedgerEntry:
+        self._clock += float(count)
+        ts = timestamp if timestamp is not None else self._clock
+        prev_mac = self.entries[-1].mac if self.entries else self.GENESIS
+        index = len(self.entries)
+        mac = self._next_mac(index, grant_id, model_name, ts, prev_mac, count)
+        entry = LedgerEntry(
+            index=index,
+            grant_id=grant_id,
+            model_name=model_name,
+            timestamp=ts,
+            prev_mac=prev_mac,
+            mac=mac,
+            count=count,
+        )
+        self.entries.append(entry)
+        self._used_per_grant[grant_id] += count
+        return entry
 
     def record_query(self, model_name: str, timestamp: Optional[float] = None) -> LedgerEntry:
         """Meter one query, consuming quota from the oldest matching grant.
@@ -174,21 +218,47 @@ class UsageLedger:
                 break
         if grant_id is None:
             raise QuotaExceededError(f"no remaining quota for model {model_name!r} on {self.device_id}")
-        self._clock += 1.0
-        ts = timestamp if timestamp is not None else self._clock
-        prev_mac = self.entries[-1].mac if self.entries else self.GENESIS
-        index = len(self.entries)
-        mac = self._next_mac(index, grant_id, model_name, ts, prev_mac)
-        entry = LedgerEntry(index=index, grant_id=grant_id, model_name=model_name, timestamp=ts, prev_mac=prev_mac, mac=mac)
-        self.entries.append(entry)
-        self._used_per_grant[grant_id] += 1
-        return entry
+        return self._append_entry(grant_id, model_name, timestamp, count=1)
+
+    def record_batch(self, model_name: str, n: int, timestamp: Optional[float] = None, partial: bool = True) -> int:
+        """Meter up to ``n`` queries at once; returns the number granted.
+
+        Quota is consumed across grants oldest-first, exactly like ``n``
+        successive :meth:`record_query` calls, but the ledger grows by one
+        aggregated, MAC-chained entry *per consumed grant* instead of one
+        entry per query — O(#grants) work and ledger size instead of O(n).
+
+        With ``partial=True`` (the serving-path semantics) the batch is
+        truncated to the remaining quota and the granted count is returned,
+        mirroring a per-query loop that denies each query past exhaustion.
+        With ``partial=False`` the call raises :class:`QuotaExceededError`
+        without consuming anything unless the full batch fits.
+        """
+        if n < 0:
+            raise ValueError("batch size must be non-negative")
+        if n == 0:
+            return 0
+        if not partial and self.remaining(model_name) < n:
+            raise QuotaExceededError(
+                f"quota for model {model_name!r} on {self.device_id} cannot cover a batch of {n}"
+            )
+        granted = 0
+        for gid, grant in self.grants.items():
+            if granted >= n:
+                break
+            if grant.model_name != model_name:
+                continue
+            available = grant.n_queries - self._used_per_grant[gid]
+            if available <= 0:
+                continue
+            take = min(available, n - granted)
+            self._append_entry(gid, model_name, timestamp, count=take)
+            granted += take
+        return granted
 
     def used(self, model_name: Optional[str] = None) -> int:
         """Number of metered queries (optionally per model)."""
-        if model_name is None:
-            return len(self.entries)
-        return sum(1 for e in self.entries if e.model_name == model_name)
+        return sum(e.count for e in self.entries if model_name is None or e.model_name == model_name)
 
     # -- verification -----------------------------------------------------
     def verify_chain(self, key: Optional[bytes] = None) -> bool:

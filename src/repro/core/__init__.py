@@ -1,7 +1,10 @@
-"""Core TinyMLOps platform: model selection policy and the end-to-end facade."""
+"""Core TinyMLOps platform: selection policy, batched serving engine,
+traffic scenarios and the end-to-end facade."""
 
 from .platform import PlatformConfig, TinyMLOpsPlatform
 from .selection import ModelSelector, SelectionPolicy, SelectionResult
+from .serving import FleetServeReport, ServeResult, ServingEngine
+from .traffic import SCENARIOS, TrafficGenerator, make_scenario
 
 __all__ = [
     "TinyMLOpsPlatform",
@@ -9,4 +12,10 @@ __all__ = [
     "ModelSelector",
     "SelectionPolicy",
     "SelectionResult",
+    "ServingEngine",
+    "ServeResult",
+    "FleetServeReport",
+    "TrafficGenerator",
+    "SCENARIOS",
+    "make_scenario",
 ]

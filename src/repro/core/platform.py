@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.billing import BillingBackend, PricingPlan, QuotaExceededError, UsageLedger
+from repro.billing import BillingBackend, PricingPlan, UsageLedger
 from repro.devices import CostModel, EdgeDevice, Fleet, NetworkCondition, get_profile
 from repro.exchange import Compiler, from_sequential
 from repro.federated import (
@@ -44,6 +44,7 @@ from repro.runtime import Orchestrator, Pipeline, model_module, softmax_module
 from repro.verification import TranscriptVerifier, VerifiableExecutor
 
 from .selection import ModelSelector, SelectionPolicy
+from .serving import FleetServeReport, ServingEngine
 
 __all__ = ["PlatformConfig", "TinyMLOpsPlatform"]
 
@@ -86,6 +87,14 @@ class TinyMLOpsPlatform:
         self.deployed_models: Dict[str, Sequential] = {}
         self.variants: Dict[str, List[ModelVariant]] = {}
         self.events: List[Dict[str, object]] = []
+        # Batched serving engine sharing the per-device state by reference.
+        self.serving = ServingEngine(
+            fleet,
+            cost_model=self.cost_model,
+            models=self.deployed_models,
+            ledgers=self.ledgers,
+            monitors=self.monitors,
+        )
 
     # ------------------------------------------------------------------
     def _log(self, kind: str, **details: object) -> None:
@@ -205,41 +214,24 @@ class TinyMLOpsPlatform:
     # serve: metered, monitored inference on one device (Sec. III-B, III-C)
     # ------------------------------------------------------------------
     def serve(self, device_id: str, model_name: str, x: np.ndarray) -> Dict[str, object]:
-        """Simulate a window of production queries on a device."""
-        device = self.fleet.get(device_id)
-        model = self.deployed_models[model_name]
-        ledger = self.ledgers.get(device_id)
-        monitor = self.monitors.get(device_id)
-        served = 0
-        denied = 0
-        battery_failures = 0
-        cost = self.cost_model.model_inference_cost(device.profile, model)
-        preds = model.predict_classes(x)
-        for _ in range(x.shape[0]):
-            if ledger is not None:
-                try:
-                    ledger.record_query(model_name)
-                except QuotaExceededError:
-                    denied += 1
-                    continue
-            if not device.execute(cost, record=False):
-                battery_failures += 1
-                continue
-            served += 1
-        if monitor is not None and served:
-            monitor.observe_window(
-                x,
-                predictions=preds,
-                latencies=np.full(served, cost.latency_s),
-                energies=np.full(served, cost.energy_j),
-                memories=np.full(served, cost.peak_memory_bytes),
-            )
-        return {
-            "served": served,
-            "denied_quota": denied,
-            "battery_failures": battery_failures,
-            "drift_detected": bool(monitor.any_drift()) if monitor is not None else False,
-        }
+        """Simulate a window of production queries on a device.
+
+        Delegates to the batched :class:`~repro.core.serving.ServingEngine`:
+        quota and battery are accounted for the whole window in O(#grants)
+        and O(1) respectively, and the drift monitor observes exactly the
+        served slice of the window (queries denied by quota or battery never
+        ran, so they produce no telemetry).
+        """
+        return self.serving.serve_batch(device_id, model_name, x).as_dict()
+
+    def serve_fleet(self, model_name: str, traffic) -> FleetServeReport:
+        """Drive the whole fleet through one or more traffic windows.
+
+        ``traffic`` is a ``{device_id: inputs}`` mapping or an iterable of
+        such windows (see :mod:`repro.core.traffic` for scenario
+        generators).
+        """
+        return self.serving.serve_fleet(model_name, traffic)
 
     # ------------------------------------------------------------------
     # sync: telemetry upload + billing reconciliation (Sec. III-B, III-C)

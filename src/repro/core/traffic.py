@@ -1,0 +1,133 @@
+"""Traffic scenario generators for fleet-scale serving benchmarks.
+
+Serving a fleet is only interesting under realistic load shapes.  This
+module produces per-window, per-device query-count schedules for four
+canonical scenarios:
+
+* **steady** — Poisson arrivals at a constant per-device rate (the
+  baseline "always-on wake-word" workload);
+* **bursty** — a low base rate with random high-rate bursts (camera traps,
+  push-triggered inference);
+* **diurnal** — a sinusoidal day/night cycle between a trough and a peak
+  rate (consumer apps);
+* **overload** — steady traffic with a multiplicative spike window (flash
+  crowds; exercises quota exhaustion and battery depletion paths).
+
+A schedule is an integer array of shape ``(n_windows, n_devices)``.
+:meth:`TrafficGenerator.windows` materializes each schedule row into the
+mapping ``{device_id: inputs}`` consumed by
+:meth:`repro.core.serving.ServingEngine.serve_fleet`, sampling query inputs
+from a reference pool.  All randomness is seeded, so scenarios are
+reproducible across benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TrafficGenerator", "SCENARIOS", "make_scenario"]
+
+SCENARIOS = ("steady", "bursty", "diurnal", "overload")
+
+
+class TrafficGenerator:
+    """Seeded per-device query-count schedules for a fixed set of devices."""
+
+    def __init__(self, device_ids: Sequence[str], seed: int = 0) -> None:
+        if not device_ids:
+            raise ValueError("need at least one device id")
+        self.device_ids: List[str] = list(device_ids)
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.device_ids)
+
+    # -- scenario schedules ------------------------------------------------
+    def steady(self, n_windows: int, rate: float = 20.0) -> np.ndarray:
+        """Constant-rate Poisson arrivals per device per window."""
+        return self.rng.poisson(rate, size=(n_windows, self.n_devices)).astype(np.int64)
+
+    def bursty(
+        self,
+        n_windows: int,
+        base_rate: float = 5.0,
+        burst_rate: float = 80.0,
+        burst_prob: float = 0.1,
+    ) -> np.ndarray:
+        """Low base load with per-device, per-window high-rate bursts."""
+        bursts = self.rng.random((n_windows, self.n_devices)) < burst_prob
+        rates = np.where(bursts, burst_rate, base_rate)
+        return self.rng.poisson(rates).astype(np.int64)
+
+    def diurnal(
+        self,
+        n_windows: int,
+        peak_rate: float = 40.0,
+        trough_rate: float = 2.0,
+        period: int = 24,
+    ) -> np.ndarray:
+        """Sinusoidal day/night cycle between trough and peak rates."""
+        t = np.arange(n_windows, dtype=np.float64)
+        mid = (peak_rate + trough_rate) / 2.0
+        amp = (peak_rate - trough_rate) / 2.0
+        rates = mid + amp * np.sin(2.0 * np.pi * t / max(period, 1))
+        return self.rng.poisson(np.maximum(rates, 0.0)[:, None] * np.ones(self.n_devices)).astype(np.int64)
+
+    def overload(
+        self,
+        n_windows: int,
+        rate: float = 20.0,
+        overload_factor: float = 20.0,
+        spike_window: Optional[int] = None,
+    ) -> np.ndarray:
+        """Steady traffic with one flash-crowd spike window.
+
+        The spike multiplies every device's rate by ``overload_factor``,
+        which is what drives quota-exhaustion and battery-depletion paths.
+        """
+        counts = self.steady(n_windows, rate)
+        spike = n_windows // 2 if spike_window is None else spike_window
+        if 0 <= spike < n_windows:
+            counts[spike] = self.rng.poisson(rate * overload_factor, size=self.n_devices)
+        return counts
+
+    # -- materialization ---------------------------------------------------
+    def windows(self, counts: np.ndarray, x_pool: np.ndarray) -> Iterator[Dict[str, np.ndarray]]:
+        """Materialize a schedule into serve_fleet windows.
+
+        Each row of ``counts`` becomes a ``{device_id: inputs}`` mapping
+        with inputs sampled (with replacement) from ``x_pool``.
+        """
+        counts = np.asarray(counts)
+        if counts.ndim != 2 or counts.shape[1] != self.n_devices:
+            raise ValueError(f"schedule must have shape (n_windows, {self.n_devices})")
+        for row in counts:
+            window: Dict[str, np.ndarray] = {}
+            for device_id, n in zip(self.device_ids, row):
+                n = int(n)
+                idx = self.rng.integers(0, x_pool.shape[0], size=n)
+                window[device_id] = x_pool[idx]
+            yield window
+
+
+def make_scenario(
+    name: str,
+    device_ids: Sequence[str],
+    n_windows: int,
+    x_pool: np.ndarray,
+    seed: int = 0,
+    **kwargs: float,
+) -> Iterator[Dict[str, np.ndarray]]:
+    """Build a named scenario's window stream in one call.
+
+    ``name`` is one of :data:`SCENARIOS`; extra keyword arguments are passed
+    to the schedule method (e.g. ``rate=``, ``burst_prob=``).
+    """
+    generator = TrafficGenerator(device_ids, seed=seed)
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}")
+    schedule = getattr(generator, name)(n_windows, **kwargs)
+    return generator.windows(schedule, x_pool)

@@ -104,6 +104,31 @@ class EdgeDevice:
                 )
         return ok
 
+    def execute_batch(self, cost: ExecutionCost, n: int, record: bool = True) -> int:
+        """Account for up to ``n`` executions of the same cost in one step.
+
+        Uses :meth:`Battery.draw_batch` so battery accounting for a whole
+        traffic window is one arithmetic operation instead of a Python loop.
+        Returns the number of executions that actually ran (the rest failed
+        on a depleted battery).  When ``record`` is set, one aggregated
+        telemetry sample carrying a ``count`` field is appended instead of
+        ``n`` identical rows.
+        """
+        ran = self.battery.draw_batch(cost.energy_j, n)
+        if ran:
+            self.query_count += ran
+            if record:
+                self.telemetry_log.append(
+                    {
+                        "latency_s": cost.latency_s,
+                        "energy_j": cost.energy_j,
+                        "memory_bytes": cost.peak_memory_bytes,
+                        "soc": self.battery.state_of_charge,
+                        "count": float(ran),
+                    }
+                )
+        return ran
+
     def run_model(self, model, bits: int = 32) -> Tuple[bool, ExecutionCost]:
         """Estimate and account the cost of one inference of ``model``."""
         cost = self._cost_model.model_inference_cost(self.profile, model, bits=bits)

@@ -71,13 +71,16 @@ def quantize_array(
         qmax = float(2 ** (bits - 1) - 1) if bits > 1 else 1.0
         qmin = -qmax - (1.0 if bits > 1 else 0.0)
         max_abs = float(np.max(np.abs(x))) if x.size else 0.0
-        scale = max_abs / qmax if max_abs > 0 else 1.0
+        # Clamp to the smallest normal float: with subnormal inputs the
+        # division can underflow to 0.0, which would turn x / scale into
+        # inf/NaN.
+        scale = max(max_abs / qmax, np.finfo(np.float64).tiny) if max_abs > 0 else 1.0
         q = np.clip(np.round(x / scale), qmin, qmax)
         return q, scale, 0.0
     lo = float(x.min()) if x.size else 0.0
     hi = float(x.max()) if x.size else 0.0
     qmax = float(2**bits - 1)
-    scale = (hi - lo) / qmax if hi > lo else 1.0
+    scale = max((hi - lo) / qmax, np.finfo(np.float64).tiny) if hi > lo else 1.0
     zero = -lo / scale
     q = np.clip(np.round(x / scale + zero), 0.0, qmax)
     return q, scale, zero

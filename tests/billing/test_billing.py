@@ -186,3 +186,132 @@ class TestReconciliation:
             prev = mac
         result = backend.reconcile({"device_id": "dev-1", "entries": entries, "grants": {}})
         assert not result.accepted and any("over-used" in i for i in result.issues)
+
+
+class TestBatchMetering:
+    def test_batch_spans_grants_with_aggregated_entries(self, backend_and_ledger):
+        backend, ledger = backend_and_ledger
+        ledger.add_grant(backend.sell_package("dev-1", "vision", 10), backend_key=backend.signing_key())
+        granted = ledger.record_batch("vision", 55)
+        assert granted == 55
+        # One aggregated entry per consumed grant, not one per query.
+        assert len(ledger.entries) == 2
+        assert [e.count for e in ledger.entries] == [50, 5]
+        assert ledger.used("vision") == 55 and ledger.remaining("vision") == 5
+        assert ledger.verify_chain()
+
+    def test_partial_batch_truncates_to_quota(self, backend_and_ledger):
+        _, ledger = backend_and_ledger
+        assert ledger.record_batch("vision", 80) == 50
+        assert ledger.record_batch("vision", 10) == 0
+        with pytest.raises(QuotaExceededError):
+            ledger.record_query("vision")
+
+    def test_strict_batch_raises_without_consuming(self, backend_and_ledger):
+        _, ledger = backend_and_ledger
+        with pytest.raises(QuotaExceededError):
+            ledger.record_batch("vision", 80, partial=False)
+        assert ledger.used("vision") == 0 and ledger.remaining("vision") == 50
+
+    def test_batch_equivalent_to_query_loop(self, backend_and_ledger):
+        backend, ledger = backend_and_ledger
+        twin_key = backend.enroll_device("dev-2")
+        backend.register_plan(PricingPlan("vision", price_per_query=0.0015))
+        twin = UsageLedger("dev-2", twin_key)
+        twin.add_grant(backend.sell_package("dev-2", "vision", 50), backend_key=backend.signing_key())
+        assert ledger.record_batch("vision", 30) == 30
+        for _ in range(30):
+            twin.record_query("vision")
+        assert ledger.used("vision") == twin.used("vision")
+        assert ledger.remaining("vision") == twin.remaining("vision")
+        batch_bill = backend.reconcile(ledger.export())
+        loop_bill = backend.reconcile(twin.export())
+        assert batch_bill.accepted and loop_bill.accepted
+        assert batch_bill.billed_amount == loop_bill.billed_amount == pytest.approx(30 * 0.0015)
+        assert batch_bill.n_new_queries == loop_bill.n_new_queries == 30
+
+    def test_mixed_single_and_batch_entries_chain_and_reconcile(self, backend_and_ledger):
+        backend, ledger = backend_and_ledger
+        ledger.record_query("vision")
+        ledger.record_batch("vision", 20)
+        ledger.record_query("vision")
+        assert ledger.used("vision") == 22
+        assert ledger.verify_chain()
+        result = backend.reconcile(ledger.export())
+        assert result.accepted
+        assert result.billed_amount == pytest.approx(22 * 0.0015)
+        report = backend.usage_report()
+        assert report["total_synced_queries"] == 22
+
+    def test_tampered_count_breaks_chain(self, backend_and_ledger):
+        backend, ledger = backend_and_ledger
+        ledger.record_batch("vision", 25)
+        export = ledger.export()
+        export["entries"][0]["count"] = 1  # claim fewer queries than metered
+        result = backend.reconcile(export)
+        assert not result.accepted and any("MAC" in i for i in result.issues)
+
+    def test_forged_batch_overuse_flagged(self, backend_and_ledger):
+        backend, ledger = backend_and_ledger
+        # A key-holding device forges one batch entry claiming more queries
+        # than the grant covers: the chain verifies but over-use is flagged.
+        grant_id = next(iter(ledger.grants))
+        cheat = UsageLedger("dev-1", backend.device_keys["dev-1"])
+        mac = cheat._next_mac(0, grant_id, "vision", 1.0, UsageLedger.GENESIS, count=500)
+        entries = [{"index": 0, "grant_id": grant_id, "model_name": "vision", "timestamp": 1.0, "prev_mac": UsageLedger.GENESIS, "mac": mac, "count": 500}]
+        result = backend.reconcile({"device_id": "dev-1", "entries": entries, "grants": {}})
+        assert not result.accepted and any("over-used" in i for i in result.issues)
+
+    def test_nonpositive_count_rejected_even_with_valid_mac(self, backend_and_ledger):
+        backend, ledger = backend_and_ledger
+        cheat = UsageLedger("dev-1", backend.device_keys["dev-1"])
+        grant_id = next(iter(ledger.grants))
+        mac = cheat._next_mac(0, grant_id, "vision", 1.0, UsageLedger.GENESIS, count=0)
+        entries = [{"index": 0, "grant_id": grant_id, "model_name": "vision", "timestamp": 1.0, "prev_mac": UsageLedger.GENESIS, "mac": mac, "count": 0}]
+        result = backend.reconcile({"device_id": "dev-1", "entries": entries, "grants": {}})
+        assert not result.accepted
+
+    def test_invalid_batch_sizes(self, backend_and_ledger):
+        _, ledger = backend_and_ledger
+        with pytest.raises(ValueError):
+            ledger.record_batch("vision", -1)
+        assert ledger.record_batch("vision", 0) == 0
+        assert ledger.used("vision") == 0
+
+    def test_rewritten_synced_count_cannot_dodge_billing(self, backend_and_ledger):
+        # A key-holding device syncs a batch entry, then re-MACs its history
+        # to inflate the already-billed entry's count while appending little:
+        # billing works on per-model query-count deltas, so the smuggled
+        # queries are billed anyway.
+        backend, ledger = backend_and_ledger
+        ledger.record_batch("vision", 10)
+        first = backend.reconcile(ledger.export())
+        assert first.accepted and first.n_new_queries == 10
+        key = backend.device_keys["dev-1"]
+        grant_id = next(iter(ledger.grants))
+        cheat = UsageLedger("dev-1", key)
+        mac0 = cheat._next_mac(0, grant_id, "vision", 1.0, UsageLedger.GENESIS, count=40)
+        mac1 = cheat._next_mac(1, grant_id, "vision", 2.0, mac0, count=1)
+        entries = [
+            {"index": 0, "grant_id": grant_id, "model_name": "vision", "timestamp": 1.0, "prev_mac": UsageLedger.GENESIS, "mac": mac0, "count": 40},
+            {"index": 1, "grant_id": grant_id, "model_name": "vision", "timestamp": 2.0, "prev_mac": mac0, "mac": mac1, "count": 1},
+        ]
+        second = backend.reconcile({"device_id": "dev-1", "entries": entries, "grants": {}})
+        assert second.accepted
+        assert second.n_new_queries == 31  # 41 total - 10 previously synced
+        assert second.billed_amount == pytest.approx(31 * 0.0015)
+
+    def test_shrunken_query_total_detected_as_rollback(self, backend_and_ledger):
+        # Shrinking an already-synced entry's count (re-MACed with the
+        # device key, entry count unchanged) is caught by the per-model
+        # query-total monotonicity check.
+        backend, ledger = backend_and_ledger
+        ledger.record_batch("vision", 30)
+        assert backend.reconcile(ledger.export()).accepted
+        key = backend.device_keys["dev-1"]
+        grant_id = next(iter(ledger.grants))
+        cheat = UsageLedger("dev-1", key)
+        mac0 = cheat._next_mac(0, grant_id, "vision", 1.0, UsageLedger.GENESIS, count=5)
+        entries = [{"index": 0, "grant_id": grant_id, "model_name": "vision", "timestamp": 1.0, "prev_mac": UsageLedger.GENESIS, "mac": mac0, "count": 5}]
+        result = backend.reconcile({"device_id": "dev-1", "entries": entries, "grants": {}})
+        assert not result.accepted and any("rollback" in i for i in result.issues)

@@ -139,6 +139,65 @@ class TestBattery:
             Battery().draw(-1.0)
 
 
+class TestBatteryBatch:
+    def test_full_fit_matches_repeated_draws_exactly(self):
+        # Binary-exact energy: repeated subtraction and one multiply-subtract
+        # are bit-identical.
+        loop = Battery(capacity_j=64.0)
+        batch = Battery(capacity_j=64.0)
+        assert all(loop.draw(0.5) for _ in range(100))
+        assert batch.draw_batch(0.5, 100) == 100
+        assert batch.level_j == loop.level_j == 14.0
+
+    def test_partial_fit_drains_to_zero(self):
+        b = Battery(capacity_j=10.0)
+        assert b.draw_batch(3.0, 5) == 3
+        assert b.level_j == 0.0
+        assert b.state == PowerState.DEPLETED
+
+    def test_partial_fit_count_matches_loop(self):
+        loop = Battery(capacity_j=10.0)
+        n_ok = sum(1 for _ in range(5) if loop.draw(3.0))
+        batch = Battery(capacity_j=10.0)
+        assert batch.draw_batch(3.0, 5) == n_ok == 3
+        assert batch.level_j == loop.level_j == 0.0
+
+    def test_plugged_and_infinite_always_fit(self):
+        assert Battery(capacity_j=10.0, plugged_in=True).draw_batch(1e9, 1000) == 1000
+        assert Battery(capacity_j=float("inf")).draw_batch(1e9, 1000) == 1000
+
+    def test_zero_energy_and_zero_batch(self):
+        b = Battery(capacity_j=10.0)
+        assert b.draw_batch(0.0, 50) == 50
+        assert b.draw_batch(1.0, 0) == 0
+        assert b.level_j == 10.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            Battery().draw_batch(-1.0, 5)
+        with pytest.raises(ValueError):
+            Battery().draw_batch(1.0, -5)
+
+    def test_execute_batch_counts_and_aggregated_telemetry(self, trained_mlp):
+        device = EdgeDevice("d1", get_profile("phone-mid"))
+        device.battery.plugged_in = True
+        cost = CostModel().model_inference_cost(device.profile, trained_mlp)
+        ran = device.execute_batch(cost, 500)
+        assert ran == 500 and device.query_count == 500
+        assert len(device.telemetry_log) == 1
+        assert device.telemetry_log[0]["count"] == 500.0
+        assert device.execute_batch(cost, 10, record=False) == 10
+        assert len(device.telemetry_log) == 1
+
+    def test_execute_batch_battery_limited(self, trained_mlp):
+        device = EdgeDevice("d1", get_profile("phone-mid"))
+        cost = CostModel().model_inference_cost(device.profile, trained_mlp)
+        device.battery.capacity_j = device.battery.level_j = cost.energy_j * 8
+        ran = device.execute_batch(cost, 20, record=False)
+        assert ran == 8 and device.query_count == 8
+        assert device.battery.level_j == 0.0
+
+
 class TestNetwork:
     def test_condition_factory(self):
         wifi = NetworkCondition.of(NetworkType.WIFI)
