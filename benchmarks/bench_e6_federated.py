@@ -4,15 +4,33 @@ Expected shape: FedAvg approaches the centralized upper bound (the gap grows
 as client data becomes more non-IID / alpha shrinks); update compression cuts
 uplink volume by 5-30x at little accuracy cost; local personalization matches
 or beats the global model on each client's own distribution.
+
+Fleet-scale guardrail: the vectorized :class:`FederatedEngine` round must
+stay at least 10x faster than the seed-era per-client loop on a 100-client
+fleet while producing an identical (allclose) aggregated delta and byte
+accounting — the federated twin of ``bench_e1``'s batched-serving and
+``bench_e5``'s batched-metering guardrails.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.data import make_gaussian_blobs, partition_dirichlet
-from repro.federated import FederatedClient, FederatedServer, TopKSparsifier, centralized_baseline, get_compressor
+from repro.data import make_gaussian_blobs, partition_dirichlet, partition_iid
+from repro.federated import (
+    FederatedClient,
+    FederatedEngine,
+    FederatedServer,
+    RoundScenario,
+    TopKSparsifier,
+    TrimmedMeanAggregator,
+    centralized_baseline,
+    get_compressor,
+    noniid_severity_sweep,
+)
 from repro.nn import make_mlp
 
 
@@ -86,3 +104,139 @@ def test_e6_personalization_gain_on_noniid_clients(benchmark, fed_task):
     mean_gain, mean_global = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info.update({"mean_personalization_gain": mean_gain, "mean_global_local_accuracy": mean_global})
     assert mean_gain > -0.02
+
+
+# ---------------------------------------------------------------------------
+# fleet-scale engine: speedup guardrail + scenario diversity
+# ---------------------------------------------------------------------------
+
+def _engine_world(n_clients: int = 100, n_per_client: int = 32):
+    """A 100-client fleet with tiny on-device trainers (batch 4, 3 epochs)."""
+    ds = make_gaussian_blobs(n_clients * n_per_client, 16, 5, cluster_std=1.2, seed=0)
+    train, _ = ds.split(0.2, seed=0)
+    parts = partition_iid(train, n_clients, seed=1)
+    clients = [FederatedClient(p, local_epochs=3, batch_size=4, lr=0.05, seed=i) for i, p in enumerate(parts)]
+    return FederatedEngine(make_mlp(16, 5, hidden=(16,), seed=0), clients)
+
+
+def test_e6_vectorized_engine_speedup(benchmark, smoke_mode):
+    """Vectorized vs per-client rounds on a 100-client fleet (≥10x target).
+
+    Two identical worlds run the same rounds, one through the stacked
+    batched trainer and one through the seed-era per-client loop; the
+    resulting global weights must agree to float tolerance and the byte
+    accounting exactly, while the vectorized path is at least an order of
+    magnitude faster.
+    """
+    n_rounds = 2 if smoke_mode else 3
+
+    def scenario():
+        # Warm both paths first so one-time costs don't skew the ratio.
+        _engine_world(n_clients=10).run_round(0)
+        warm = _engine_world(n_clients=10)
+        warm.run_round_legacy(0)
+        eng_v, eng_l = _engine_world(), _engine_world()
+        t0 = time.perf_counter()
+        for r in range(n_rounds):
+            eng_v.run_round(r)
+        t_vec = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for r in range(n_rounds):
+            eng_l.run_round_legacy(r)
+        t_legacy = time.perf_counter() - t0
+        w_vec = eng_v.global_model.get_flat_weights()
+        w_legacy = eng_l.global_model.get_flat_weights()
+        return {
+            "n_clients": 100,
+            "n_rounds": n_rounds,
+            "vectorized_s": t_vec,
+            "legacy_s": t_legacy,
+            "speedup": t_legacy / max(t_vec, 1e-12),
+            "identical_delta": bool(np.allclose(w_vec, w_legacy, atol=1e-9)),
+            "identical_bytes": all(
+                (a.uplink_bytes, a.downlink_bytes, a.participants) == (b.uplink_bytes, b.downlink_bytes, b.participants)
+                for a, b in zip(eng_v.history, eng_l.history)
+            ),
+            "identical_losses": bool(
+                np.allclose([r.train_loss for r in eng_v.history], [r.train_loss for r in eng_l.history])
+            ),
+        }
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["identical_delta"], "vectorized round diverged from the per-client loop"
+    assert result["identical_bytes"] and result["identical_losses"]
+    assert result["speedup"] >= 10.0, f"vectorized round only {result['speedup']:.1f}x faster"
+
+
+def test_e6_scenario_round_diversity(benchmark, fed_task, smoke_mode):
+    """Dropouts, straggler timeouts and byzantine clients in one round loop.
+
+    The trimmed-mean aggregator must keep training under byzantine updates,
+    and the per-round bookkeeping must account for every selected client.
+    """
+    train, test = fed_task
+    clients = _make_clients(train, alpha=1.0, n_clients=10)
+    # One byzantine client: with ~6-8 contributors per round after dropouts
+    # and stragglers, trim_fraction=0.25 trims at least one value per side,
+    # which is exactly what is needed to vote down a single corrupted delta.
+    byzantine = {clients[0].client_id}
+    scenario = RoundScenario(
+        dropout_rate=0.2,
+        straggler_timeout_s=0.5,
+        time_per_sample_s=1e-3,
+        byzantine_ids=byzantine,
+        byzantine_mode="flip",
+        byzantine_scale=25.0,
+        seed=5,
+    )
+
+    def run():
+        engine = FederatedEngine(
+            make_mlp(12, 5, hidden=(32, 16), seed=0),
+            clients,
+            aggregator=TrimmedMeanAggregator(trim_fraction=0.25),
+            eval_data=(test.x, test.y),
+            scenario=scenario,
+        )
+        engine.run(3 if smoke_mode else 6)
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    totals = {
+        "dropouts": sum(r.n_dropouts for r in engine.history),
+        "stragglers": sum(r.n_stragglers for r in engine.history),
+        "byzantine": sum(r.n_byzantine for r in engine.history),
+        "final_accuracy": engine.history[-1].global_accuracy,
+    }
+    benchmark.extra_info.update(totals)
+    for r in engine.history:
+        assert len(r.participants) + r.n_dropouts + r.n_stragglers == r.n_selected
+    assert totals["byzantine"] > 0
+    assert totals["final_accuracy"] > 0.5  # trimmed mean survives flipped 25x deltas
+
+
+def test_e6_noniid_severity_sweep(benchmark, smoke_mode):
+    """Dirichlet severity sweep: label skew shrinks as alpha grows."""
+    ds = make_gaussian_blobs(1200 if smoke_mode else 2400, 12, 5, cluster_std=1.3, seed=2)
+    train, test = ds.split(0.3, seed=2)
+    alphas = [0.05, 0.5, 5.0]
+
+    def run():
+        return noniid_severity_sweep(
+            train,
+            alphas,
+            model_fn=lambda: make_mlp(12, 5, hidden=(32, 16), seed=0),
+            n_clients=8,
+            rounds=2 if smoke_mode else 4,
+            eval_data=(test.x, test.y),
+            seed=3,
+            local_epochs=2,
+            lr=0.05,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({str(a): sweep[a] for a in alphas})
+    skews = [sweep[a]["mean_tv_distance"] for a in alphas]
+    assert skews[0] > skews[-1], "smaller alpha must be more non-IID"
+    assert all(sweep[a]["final_accuracy"] > 0.4 for a in alphas)

@@ -2,9 +2,16 @@
 
 Scenario: vibration sensors on many machines detect anomalies.  Raw data
 never leaves a machine; the global model is trained with federated
-averaging under communication compression, clients are selected only when
-charging / on WiFi, and each machine finally personalizes the global model
-to its own vibration signature.
+averaging under communication compression, and each machine finally
+personalizes the global model to its own vibration signature.
+
+Rounds run on the vectorized :class:`~repro.federated.FederatedEngine`:
+every selected machine trains in one stacked batched pass, the scheduler
+reads *live* fleet state (only charging / WiFi / idle machines
+participate — and training itself drains their batteries), and a
+:class:`~repro.federated.RoundScenario` injects mid-round dropouts plus a
+byzantine machine whose scaled updates a
+:class:`~repro.federated.TrimmedMeanAggregator` votes down.
 
 Run with:  python examples/federated_personalization.py
 """
@@ -18,8 +25,11 @@ from repro.devices import Fleet
 from repro.federated import (
     EligibilityScheduler,
     FederatedClient,
+    FederatedEngine,
     FederatedServer,
+    RoundScenario,
     TopKSparsifier,
+    TrimmedMeanAggregator,
     centralized_baseline,
 )
 from repro.nn import make_mlp
@@ -49,30 +59,47 @@ def main() -> None:
 
     input_dim = window * channels
     fleet = Fleet.random(n_machines, seed=3)
-    device_ids = list(fleet.devices)
-    context = {f"dev-{i:04d}": fleet.get(device_ids[i]).context() for i in range(n_machines)}
 
-    # --- federated training with compression + eligibility scheduling -------
+    # --- federated training with compression + live fleet scheduling --------
+    # Client ids match the fleet's device ids, so the engine derives the
+    # scheduler context straight from each device's current battery/network
+    # state — no hand-built context dicts.
     global_model = make_mlp(input_dim, 2, hidden=(64, 32), seed=0, name="anomaly-detector")
-    server = FederatedServer(
+    engine = FederatedEngine(
         global_model,
         clients,
         compressor=TopKSparsifier(fraction=0.1),
         scheduler=EligibilityScheduler(max_clients=6),
         eval_data=(eval_x, eval_y),
+        fleet=fleet,
     )
     print("federated rounds (only charging / WiFi / idle machines participate):")
-    for result in server.run(6, device_context=context):
+    for result in engine.run(6):
         print(f"  round {result.round_index}: participants={len(result.participants):<3} "
               f"global_acc={result.global_accuracy:.3f} uplink={result.uplink_bytes / 1024:.1f}KB")
-    print("total communication:", server.total_communication())
+    print("total communication:", engine.total_communication())
 
     # --- comparison against the (privacy-violating) centralized upper bound --
     central = centralized_baseline(make_mlp(input_dim, 2, hidden=(64, 32), seed=0), clients, (eval_x, eval_y), epochs=5)
     print(f"\ncentralized baseline accuracy: {central['accuracy']:.3f} "
-          f"(federated reached {server.history[-1].global_accuracy:.3f} without moving raw data)")
+          f"(federated reached {engine.history[-1].global_accuracy:.3f} without moving raw data)")
+
+    # --- adversarial conditions: dropouts + one byzantine machine ------------
+    robust = FederatedEngine(
+        make_mlp(input_dim, 2, hidden=(64, 32), seed=0, name="anomaly-detector-robust"),
+        clients,
+        aggregator=TrimmedMeanAggregator(trim_fraction=0.2),
+        eval_data=(eval_x, eval_y),
+        scenario=RoundScenario(dropout_rate=0.15, byzantine_ids={"dev-0003"},
+                               byzantine_mode="flip", byzantine_scale=20.0, seed=7),
+    )
+    last = robust.run(4)[-1]
+    print(f"\nunder dropouts + byzantine dev-0003 (trimmed-mean aggregation): "
+          f"acc={last.global_accuracy:.3f} dropouts={sum(r.n_dropouts for r in robust.history)} "
+          f"byzantine updates trimmed={sum(r.n_byzantine for r in robust.history)}")
 
     # --- personalization: each machine overfits to its own signature ---------
+    server = FederatedServer(global_model, clients, eval_data=(eval_x, eval_y))
     results = server.personalize_all(epochs=3)
     gains = [r.get("personal_accuracy", 0.0) - r["global_accuracy"] for r in results.values()]
     print("\npersonalization (local fine-tuning on each machine):")

@@ -32,7 +32,8 @@ from repro.exchange import Compiler, from_sequential
 from repro.federated import (
     EligibilityScheduler,
     FederatedClient,
-    FederatedServer,
+    FederatedEngine,
+    RoundScenario,
     get_compressor,
 )
 from repro.nn.model import Sequential
@@ -273,30 +274,41 @@ class TinyMLOpsPlatform:
         eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         local_epochs: int = 1,
         lr: float = 0.05,
+        scenario: Optional[RoundScenario] = None,
     ) -> Dict[str, object]:
-        """Run federated rounds over eligible devices and re-register the model."""
+        """Run federated rounds over eligible devices and re-register the model.
+
+        Rounds execute on the vectorized :class:`FederatedEngine`: client
+        selection reads the fleet's *live* device state each round (so a
+        device that drained its battery serving traffic drops out of later
+        rounds), every selected client trains in one stacked pass, and an
+        optional ``scenario`` injects dropouts / stragglers / byzantine
+        updates.
+        """
         model = self.deployed_models[model_name]
         clients = [
             FederatedClient(cd, local_epochs=local_epochs, lr=lr, seed=self.config.seed + i)
             for i, cd in enumerate(client_data)
         ]
-        context = {c.client_id: self.fleet.get(c.client_id).context() for c in clients if c.client_id in self.fleet.devices}
+        on_fleet = any(c.client_id in self.fleet.devices for c in clients)
         scheduler = EligibilityScheduler(max_clients=max(2, int(self.config.federated_fraction * len(clients))))
-        server = FederatedServer(
+        engine = FederatedEngine(
             model,
             clients,
             compressor=get_compressor(self.config.federated_compressor, fraction=0.1)
             if self.config.federated_compressor == "topk"
             else get_compressor(self.config.federated_compressor),
-            scheduler=scheduler if context else None,
+            scheduler=scheduler if on_fleet else None,
             eval_data=eval_data,
+            fleet=self.fleet if on_fleet else None,
+            scenario=scenario,
         )
-        history = server.run(rounds, device_context=context if context else None)
+        history = engine.run(rounds)
         new_version = self.registry.register_model(model, kind="federated", parents=(self.registry.latest(model_name, kind="base").version_id,), tags={"rounds": rounds})
         self._log("federated_update", model=model_name, rounds=rounds, final_accuracy=history[-1].global_accuracy if history else 0.0)
         return {
             "rounds": [r.as_dict() for r in history],
-            "communication": server.total_communication(),
+            "communication": engine.total_communication(),
             "new_version": new_version.version_id,
         }
 

@@ -18,6 +18,13 @@ from .compression import (
     UpdateCompressor,
     get_compressor,
 )
+from .engine import (
+    FederatedEngine,
+    RoundScenario,
+    noniid_severity_sweep,
+    train_clients_batched,
+    vectorized_supported,
+)
 from .scheduling import ClientScheduler, EligibilityScheduler, EnergyAwareScheduler, RandomScheduler
 from .server import FederatedServer, RoundResult, centralized_baseline
 
@@ -25,8 +32,13 @@ __all__ = [
     "FederatedClient",
     "ClientUpdate",
     "FederatedServer",
+    "FederatedEngine",
+    "RoundScenario",
     "RoundResult",
     "centralized_baseline",
+    "noniid_severity_sweep",
+    "train_clients_batched",
+    "vectorized_supported",
     "Aggregator",
     "FedAvgAggregator",
     "FedAdamAggregator",

@@ -39,12 +39,16 @@ class Aggregator:
         raise NotImplementedError
 
     @staticmethod
-    def _weights(updates: Sequence[ClientUpdate]) -> np.ndarray:
-        counts = np.array([max(u.n_samples, 0) for u in updates], dtype=np.float64)
+    def _weights_from_counts(counts: np.ndarray) -> np.ndarray:
+        counts = np.maximum(np.asarray(counts, dtype=np.float64), 0.0)
         total = counts.sum()
         if total <= 0:
-            return np.full(len(updates), 1.0 / max(len(updates), 1))
+            return np.full(counts.size, 1.0 / max(counts.size, 1))
         return counts / total
+
+    @classmethod
+    def _weights(cls, updates: Sequence[ClientUpdate]) -> np.ndarray:
+        return cls._weights_from_counts(np.array([u.n_samples for u in updates], dtype=np.float64))
 
 
 class FedAvgAggregator(Aggregator):
@@ -53,8 +57,20 @@ class FedAvgAggregator(Aggregator):
     def aggregate(self, updates: Sequence[ClientUpdate]) -> np.ndarray:
         if not updates:
             raise ValueError("no updates to aggregate")
-        weights = self._weights(updates)
-        stacked = np.stack([u.delta for u in updates], axis=0)
+        return self.aggregate_stack(
+            np.stack([u.delta for u in updates], axis=0),
+            np.array([u.n_samples for u in updates], dtype=np.float64),
+        )
+
+    def aggregate_stack(self, stacked: np.ndarray, n_samples: np.ndarray) -> np.ndarray:
+        """FedAvg over an already-stacked ``(clients, dim)`` delta matrix.
+
+        The vectorized :class:`~repro.federated.engine.FederatedEngine`
+        holds the stack directly, so this skips the per-update objects.
+        """
+        if stacked.shape[0] == 0:
+            raise ValueError("no updates to aggregate")
+        weights = self._weights_from_counts(n_samples)
         return np.einsum("c,cd->d", weights, stacked, optimize=True)
 
 

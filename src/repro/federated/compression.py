@@ -68,6 +68,31 @@ class UpdateCompressor:
         compressed = self.compress(np.asarray(update, dtype=np.float64))
         return self.decompress(compressed), compressed
 
+    @staticmethod
+    def _as_stack(updates: np.ndarray) -> np.ndarray:
+        updates = np.asarray(updates, dtype=np.float64)
+        if updates.ndim != 2:
+            raise ValueError(f"expected a (clients, dim) stack, got shape {updates.shape}")
+        return updates
+
+    def roundtrip_batch(self, updates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Round-trip a stack of updates ``(clients, dim)`` in one call.
+
+        Returns ``(decompressed, nbytes)`` where ``decompressed`` has the
+        input's shape and ``nbytes[i]`` is the payload size the per-vector
+        :meth:`compress` would report for row ``i``.  The base implementation
+        loops over rows; the built-in compressors override it with fully
+        vectorized versions that produce bit-identical results.
+        """
+        updates = self._as_stack(updates)
+        decompressed = np.empty_like(updates)
+        nbytes = np.empty(updates.shape[0], dtype=np.int64)
+        for i, row in enumerate(updates):
+            decoded, compressed = self.roundtrip(row)
+            decompressed[i] = decoded
+            nbytes[i] = compressed.nbytes
+        return decompressed, nbytes
+
 
 class NoCompression(UpdateCompressor):
     """Dense float32 transmission (the baseline)."""
@@ -85,6 +110,11 @@ class NoCompression(UpdateCompressor):
 
     def decompress(self, compressed: CompressedUpdate) -> np.ndarray:
         return compressed.payload["values"].astype(np.float64)
+
+    def roundtrip_batch(self, updates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        updates = self._as_stack(updates)
+        decompressed = updates.astype(np.float32).astype(np.float64)
+        return decompressed, np.full(updates.shape[0], updates.shape[1] * 4, dtype=np.int64)
 
 
 class TopKSparsifier(UpdateCompressor):
@@ -116,6 +146,16 @@ class TopKSparsifier(UpdateCompressor):
         out[compressed.payload["indices"].astype(np.int64)] = compressed.payload["values"].astype(np.float64)
         return out
 
+    def roundtrip_batch(self, updates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        updates = self._as_stack(updates)
+        n, dim = updates.shape
+        k = max(1, int(np.ceil(self.fraction * dim)))
+        idx = np.argpartition(np.abs(updates), -k, axis=1)[:, -k:]
+        rows = np.arange(n)[:, None]
+        decompressed = np.zeros_like(updates)
+        decompressed[rows, idx] = updates[rows, idx].astype(np.float32).astype(np.float64)
+        return decompressed, np.full(n, k * 8, dtype=np.int64)
+
 
 class SignSGDCompressor(UpdateCompressor):
     """1-bit sign compression with an L1-preserving global scale."""
@@ -138,6 +178,15 @@ class SignSGDCompressor(UpdateCompressor):
         signs = np.unpackbits(compressed.payload["signs"], count=compressed.original_dim).astype(bool)
         scale = float(compressed.payload["scale"][0])
         return np.where(signs, -scale, scale)
+
+    def roundtrip_batch(self, updates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        updates = self._as_stack(updates)
+        n, dim = updates.shape
+        if dim == 0:
+            return np.zeros_like(updates), np.full(n, 4, dtype=np.int64)
+        scale = np.abs(updates).mean(axis=1).astype(np.float32).astype(np.float64)[:, None]
+        decompressed = np.where(np.signbit(updates), -scale, scale)
+        return decompressed, np.full(n, int(np.ceil(dim / 8)) + 4, dtype=np.int64)
 
 
 class TernaryCompressor(UpdateCompressor):
@@ -172,6 +221,23 @@ class TernaryCompressor(UpdateCompressor):
         scale = float(compressed.payload["scale"][0])
         return codes.astype(np.float64) * scale
 
+    def roundtrip_batch(self, updates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        updates = self._as_stack(updates)
+        n, dim = updates.shape
+        if dim == 0:
+            return np.zeros_like(updates), np.full(n, 4, dtype=np.int64)
+        magnitude = np.abs(updates)
+        threshold = self.threshold_factor * magnitude.mean(axis=1, keepdims=True)
+        codes = np.zeros(updates.shape, dtype=np.float64)
+        codes[updates > threshold] = 1.0
+        codes[updates < -threshold] = -1.0
+        nonzero = codes != 0
+        count = nonzero.sum(axis=1)
+        total = np.where(nonzero, magnitude, 0.0).sum(axis=1)
+        scale = np.where(count > 0, total / np.maximum(count, 1), 0.0)
+        scale = scale.astype(np.float32).astype(np.float64)[:, None]
+        return codes * scale, np.full(n, int(np.ceil(dim / 4)) + 4, dtype=np.int64)
+
 
 class QuantizedCompressor(UpdateCompressor):
     """Uniform b-bit quantization of the update vector."""
@@ -203,6 +269,22 @@ class QuantizedCompressor(UpdateCompressor):
         lo = float(compressed.payload["lo"][0])
         scale = float(compressed.payload["scale"][0])
         return codes * scale + lo
+
+    def roundtrip_batch(self, updates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        updates = self._as_stack(updates)
+        n, dim = updates.shape
+        if dim == 0:
+            return np.zeros_like(updates), np.full(n, 8, dtype=np.int64)
+        lo = updates.min(axis=1, keepdims=True)
+        hi = updates.max(axis=1, keepdims=True)
+        qmax = 2**self.bits - 1
+        scale = np.where(hi > lo, (hi - lo) / qmax, 1.0)
+        codes = np.clip(np.round((updates - lo) / scale), 0, qmax)
+        # Decode with the float32-cast lo/scale the payload would carry.
+        lo32 = lo.astype(np.float32).astype(np.float64)
+        scale32 = scale.astype(np.float32).astype(np.float64)
+        nbytes = np.full(n, int(np.ceil(dim * self.bits / 8)) + 8, dtype=np.int64)
+        return codes * scale32 + lo32, nbytes
 
 
 def get_compressor(name: str, **kwargs) -> UpdateCompressor:

@@ -1,0 +1,698 @@
+"""Fleet-scale vectorized federated training engine.
+
+The seed-era :class:`~repro.federated.server.FederatedServer` executed a
+round client by client: clone the global model, run local SGD in a Python
+loop, compress one delta at a time.  This module executes the same round
+*fleet-wide*:
+
+* client shards are stacked into padded 3-D tensors ``(clients, samples,
+  features)`` and the local SGD epochs run as batched matrix products over
+  every selected client at once (:func:`train_clients_batched`), replaying
+  the exact per-client shuffle order and FedProx term so the result matches
+  the per-client loop to float tolerance;
+* compressor round-trips are vectorized over the stacked deltas
+  (:meth:`UpdateCompressor.roundtrip_batch`);
+* client selection is driven from live :class:`~repro.devices.fleet.Fleet`
+  state (battery state of charge, metered-network flags) instead of
+  hand-built context dicts, and participating devices pay a per-device
+  energy cost for local training;
+* the round loop supports deployment scenarios: mid-round dropouts,
+  straggler timeouts and byzantine clients injecting scaled / sign-flipped
+  deltas (exercised against :class:`TrimmedMeanAggregator`).
+
+The legacy per-client loop is preserved as
+:meth:`FederatedEngine.run_round_legacy` so benchmarks can assert the
+vectorized path stays equivalent and at least an order of magnitude faster
+(``bench_e6``), mirroring the batched-serving guardrail of ``bench_e1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import activations as A
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+
+from .aggregation import Aggregator, FedAvgAggregator
+from .client import ClientUpdate, FederatedClient
+from .compression import NoCompression, UpdateCompressor
+from .scheduling import ClientScheduler, RandomScheduler
+
+__all__ = [
+    "RoundResult",
+    "RoundScenario",
+    "FederatedEngine",
+    "vectorized_supported",
+    "train_clients_batched",
+    "noniid_severity_sweep",
+]
+
+
+@dataclass
+class RoundResult:
+    """Metrics of one federated round.
+
+    ``participants`` lists the clients whose updates were actually
+    aggregated; under a :class:`RoundScenario` that can be a strict subset
+    of ``n_selected`` (dropouts and stragglers receive the model — and are
+    billed for downlink — but never deliver an update).
+    """
+
+    round_index: int
+    participants: List[str]
+    train_loss: float
+    global_accuracy: float
+    uplink_bytes: int
+    downlink_bytes: int
+    mean_local_accuracy: float = 0.0
+    n_selected: int = 0
+    n_dropouts: int = 0
+    n_stragglers: int = 0
+    n_byzantine: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "round": self.round_index,
+            "n_participants": len(self.participants),
+            "train_loss": round(self.train_loss, 4),
+            "global_accuracy": round(self.global_accuracy, 4),
+            "uplink_kb": round(self.uplink_bytes / 1024, 2),
+            "downlink_kb": round(self.downlink_bytes / 1024, 2),
+            "n_selected": self.n_selected,
+            "n_dropouts": self.n_dropouts,
+            "n_stragglers": self.n_stragglers,
+            "n_byzantine": self.n_byzantine,
+        }
+
+
+@dataclass
+class RoundScenario:
+    """Failure / adversary model applied to every round the engine runs.
+
+    * ``dropout_rate`` — probability that a selected client vanishes
+      mid-round (network loss, app killed): it never trains nor uploads.
+    * ``straggler_timeout_s`` — round deadline.  Each trained client's
+      simulated local-training latency is ``n_samples * local_epochs *
+      time_per_sample_s`` with log-normal jitter; clients over the deadline
+      finish training (and pay the energy) but their update is discarded.
+    * ``byzantine_ids`` — clients that inject corrupted deltas:
+      ``"scale"`` multiplies the honest delta by ``byzantine_scale``,
+      ``"flip"`` additionally reverses its sign.  Pair with
+      :class:`~repro.federated.aggregation.TrimmedMeanAggregator` to keep
+      the aggregate bounded by the honest clients' range.
+    """
+
+    dropout_rate: float = 0.0
+    straggler_timeout_s: Optional[float] = None
+    time_per_sample_s: float = 1e-3
+    latency_jitter: float = 0.5
+    byzantine_ids: frozenset = field(default_factory=frozenset)
+    byzantine_mode: str = "scale"
+    byzantine_scale: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        if self.byzantine_mode not in ("scale", "flip"):
+            raise ValueError("byzantine_mode must be 'scale' or 'flip'")
+        self.byzantine_ids = frozenset(self.byzantine_ids)
+
+
+# ---------------------------------------------------------------------------
+# vectorized local training
+# ---------------------------------------------------------------------------
+
+_SUPPORTED_ACTIVATIONS = {None, "relu", "leaky_relu", "relu6", "tanh", "sigmoid", "linear"}
+
+
+def _dense_stack(model: Sequential) -> Optional[List[Dense]]:
+    """The model's layers if it is a pure Dense stack the trainer supports."""
+    layers: List[Dense] = []
+    for layer in model.layers:
+        if type(layer) is not Dense or layer.activation_name not in _SUPPORTED_ACTIVATIONS:
+            return None
+        layers.append(layer)
+    return layers if layers else None
+
+
+def vectorized_supported(model: Sequential, clients: Sequence[FederatedClient]) -> bool:
+    """Whether :func:`train_clients_batched` can replay this configuration.
+
+    Requires a pure Dense stack (the MLPs every federated experiment uses),
+    plain-SGD clients and a uniform batch size / epoch count across the
+    clients that hold data.  Anything else falls back to the per-client
+    loop, so correctness never depends on this returning True.
+    """
+    if _dense_stack(model) is None:
+        return False
+    active = [c for c in clients if c.n_samples > 0]
+    if not active:
+        return True
+    ref = active[0]
+    return all(
+        c.optimizer_name == "sgd" and c.batch_size == ref.batch_size and c.local_epochs == ref.local_epochs
+        for c in active
+    )
+
+
+# Recreating ``default_rng(seed)`` for every client each round is a
+# measurable share of a vectorized round, so Generators are pooled: the
+# initial bit-generator state per seed is cached and restored on reuse,
+# which reproduces the exact stream a fresh ``default_rng(seed)`` yields.
+_RNG_POOL: Dict[int, Tuple[np.random.Generator, dict]] = {}
+
+
+def _pooled_rng(seed: int) -> np.random.Generator:
+    entry = _RNG_POOL.get(seed)
+    if entry is None:
+        rng = np.random.default_rng(seed)
+        _RNG_POOL[seed] = (rng, rng.bit_generator.state)
+        return rng
+    rng, state = entry
+    rng.bit_generator.state = state
+    return rng
+
+
+def train_clients_batched(
+    global_model: Sequential,
+    clients: Sequence[FederatedClient],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run every client's local SGD epochs in lock-step with stacked tensors.
+
+    Replays exactly what ``FederatedClient.train_round`` does per client —
+    same seeded shuffles, same cross-entropy gradients averaged over the
+    true (unpadded) batch sizes, same SGD / FedProx updates — but as one
+    sequence of batched ``(clients, batch, features)`` matrix products.
+
+    Returns ``(deltas, mean_losses, local_accuracies)`` where ``deltas`` has
+    shape ``(len(clients), n_params)``.  Clients without samples get a zero
+    delta, zero loss and zero accuracy, matching the per-client loop.
+    """
+    layers = _dense_stack(global_model)
+    if layers is None:
+        raise ValueError("model is not a pure Dense stack; use the per-client loop")
+    n_params = global_model.get_flat_weights().size
+    deltas = np.zeros((len(clients), n_params), dtype=np.float64)
+    losses = np.zeros(len(clients), dtype=np.float64)
+    accs = np.zeros(len(clients), dtype=np.float64)
+    active = [(i, c) for i, c in enumerate(clients) if c.n_samples > 0]
+    if not active:
+        return deltas, losses, accs
+
+    C = len(active)
+    counts = np.array([c.n_samples for _, c in active], dtype=np.int64)
+    n_max = int(counts.max())
+    x_dim = int(np.prod(global_model.input_shape))
+    X = np.zeros((C, n_max, x_dim), dtype=np.float64)
+    Y = np.zeros((C, n_max), dtype=np.int64)
+    for ci, (_, client) in enumerate(active):
+        X[ci, : counts[ci]] = client.data.x.reshape(counts[ci], -1)
+        Y[ci, : counts[ci]] = client.data.y.astype(np.int64)
+
+    batch_size = active[0][1].batch_size
+    epochs = active[0][1].local_epochs
+    lr3 = np.array([c.lr for _, c in active])[:, None, None]
+    mu = np.array([c.proximal_mu for _, c in active], dtype=np.float64)
+    use_prox = bool(np.any(mu > 0.0))
+    seen_seeds: set = set()
+    rngs = []
+    for _, c in active:
+        # Pooled generators are keyed by seed; a duplicate seed within one
+        # call needs its own independent stream, exactly like the legacy loop.
+        rngs.append(np.random.default_rng(c.seed) if c.seed in seen_seeds else _pooled_rng(c.seed))
+        seen_seeds.add(c.seed)
+
+    # Stacked per-client parameters, seeded from the global weights.
+    globals_w = [layer.params["W"] for layer in layers]
+    globals_b = [layer.params.get("b") for layer in layers]
+    acts = [A.get_activation(layer.activation_name) if layer.activation_name else None for layer in layers]
+    relu_like = [layer.activation_name == "relu" for layer in layers]
+    W = [np.repeat(g[None], C, axis=0) for g in globals_w]
+    b = [np.repeat(g[None], C, axis=0) if g is not None else None for g in globals_b]
+    dims = [int(np.prod(global_model.input_shape))] + [layer.units for layer in layers]
+    n_layers = len(layers)
+
+    rows = np.arange(C)[:, None]
+    loss_sum = np.zeros(C)
+    n_batches = np.zeros(C)
+    perm = np.zeros((C, n_max), dtype=np.int64)
+    steps = math.ceil(n_max / batch_size)
+
+    # All step tensors are preallocated per batch width and every hot op
+    # writes through ``out=`` — on a 100-client fleet the allocator churn of
+    # fresh (clients, batch, features) temporaries otherwise rivals the
+    # arithmetic itself.  Buffers: z/y per layer, gradient ping-pong per
+    # layer width, per-layer weight/bias gradients, targets and loss temp.
+    buffers: Dict[int, Dict[str, object]] = {}
+
+    def _buffers(width: int) -> Dict[str, object]:
+        buf = buffers.get(width)
+        if buf is None:
+            buf = {
+                "z": [np.empty((C, width, dims[li + 1])) for li in range(n_layers)],
+                "y": [np.empty((C, width, dims[li + 1])) for li in range(n_layers)],
+                "g": [np.empty((C, width, dims[li + 1])) for li in range(n_layers)],
+                "gw": [np.empty((C, dims[li], dims[li + 1])) for li in range(n_layers)],
+                "gb": [np.empty((C, dims[li + 1])) if b[li] is not None else None for li in range(n_layers)],
+                "t": np.empty((C, width, dims[-1])),
+                "tmp": np.empty((C, width, dims[-1])),
+            }
+            buffers[width] = buf
+        return buf
+
+    Xp = np.empty_like(X)
+    Yp = np.empty_like(Y)
+    for _epoch in range(epochs):
+        for ci, rng in enumerate(rngs):
+            idx = np.arange(counts[ci])
+            rng.shuffle(idx)
+            perm[ci, : counts[ci]] = idx
+        # One gather per epoch; every step below slices contiguous views.
+        Xp[:] = X[rows, perm]
+        Yp[:] = Y[rows, perm]
+        for s in range(steps):
+            nb = np.clip(counts - s * batch_size, 0, batch_size)
+            width = int(nb.max())
+            if width == 0:
+                break
+            xb = Xp[:, s * batch_size : s * batch_size + width]
+            yb = Yp[:, s * batch_size : s * batch_size + width]
+            mask = np.arange(width)[None, :] < nb[:, None]
+            buf = _buffers(width)
+            zs: List[np.ndarray] = buf["z"]  # type: ignore[assignment]
+            ys: List[np.ndarray] = buf["y"]  # type: ignore[assignment]
+            gs: List[np.ndarray] = buf["g"]  # type: ignore[assignment]
+            gws: List[np.ndarray] = buf["gw"]  # type: ignore[assignment]
+            gbs = buf["gb"]
+
+            # Forward pass through the Dense stack.
+            h = xb
+            hs = []
+            for li in range(n_layers):
+                hs.append(h)
+                np.matmul(h, W[li], out=zs[li])
+                if b[li] is not None:
+                    zs[li] += b[li][:, None, :]
+                if acts[li] is not None:
+                    if relu_like[li]:
+                        np.maximum(zs[li], 0.0, out=ys[li])
+                    else:
+                        ys[li][:] = acts[li][0](zs[li])
+                    h = ys[li]
+                else:
+                    h = zs[li]
+            logits = h
+
+            # Softmax cross-entropy averaged over each client's true batch
+            # size; the shared shifted-exponential pass yields probabilities
+            # and log-probabilities bitwise identical to the ``softmax`` /
+            # ``log_softmax`` pair the per-client loss uses.
+            denom = np.maximum(nb, 1).astype(np.float64)
+            targets: np.ndarray = buf["t"]  # type: ignore[assignment]
+            targets[:] = 0.0
+            targets[rows, np.arange(width)[None, :], yb] = mask.astype(np.float64)
+            tmp: np.ndarray = buf["tmp"]  # type: ignore[assignment]
+            np.subtract(logits, np.max(logits, axis=-1, keepdims=True), out=tmp)  # shifted
+            g_out = gs[n_layers - 1]
+            np.exp(tmp, out=g_out)  # e
+            norm = np.sum(g_out, axis=-1, keepdims=True)
+            np.subtract(tmp, np.log(norm), out=tmp)  # log-probabilities
+            tmp *= targets
+            step_loss = -tmp.sum(axis=(1, 2)) / denom
+            np.divide(g_out, norm, out=g_out)  # probabilities
+            g_out -= targets
+            g_out /= denom[:, None, None]
+            g_out *= mask[:, :, None]
+
+            # Backward pass, accumulating per-layer gradients.
+            g = g_out
+            for li in range(n_layers - 1, -1, -1):
+                if relu_like[li]:
+                    g *= zs[li] > 0.0
+                elif acts[li] is not None:
+                    g *= acts[li][1](zs[li], ys[li])
+                np.matmul(hs[li].transpose(0, 2, 1), g, out=gws[li])
+                if b[li] is not None:
+                    g.sum(axis=1, out=gbs[li])
+                if li > 0:
+                    np.matmul(g, W[li].transpose(0, 2, 1), out=gs[li - 1])
+                    g = gs[li - 1]
+
+            step_active = nb > 0
+            if use_prox:
+                gate = (mu * step_active)[:, None, None]
+                sq = np.zeros(C)
+                for li in range(n_layers):
+                    dw = W[li] - globals_w[li][None]
+                    gws[li] += gate * dw
+                    sq += (dw * dw).sum(axis=(1, 2))
+                    if b[li] is not None:
+                        db = b[li] - globals_b[li][None]
+                        gbs[li] += gate[:, :, 0] * db
+                        sq += (db * db).sum(axis=1)
+                step_loss = step_loss + 0.5 * mu * sq
+            loss_sum += np.where(step_active, step_loss, 0.0)
+            n_batches += step_active
+
+            # Plain SGD; inactive clients have all-zero gradients.
+            for li in range(n_layers):
+                gws[li] *= lr3
+                W[li] -= gws[li]
+                if b[li] is not None:
+                    gbs[li] *= lr3[:, :, 0]
+                    b[li] -= gbs[li]
+
+    # Local evaluation of the trained weights on each client's own shard.
+    h = X
+    for li in range(n_layers):
+        z = h @ W[li]
+        if b[li] is not None:
+            z += b[li][:, None, :]
+        h = acts[li][0](z) if acts[li] is not None else z
+    valid = np.arange(n_max)[None, :] < counts[:, None]
+    correct = ((h.argmax(axis=-1) == Y) & valid).sum(axis=1)
+
+    # Flatten (trained - global) into the get_flat_weights layout.
+    parts = []
+    for li in range(n_layers):
+        for key in sorted(layers[li].params):
+            if key == "W":
+                parts.append((W[li] - globals_w[li][None]).reshape(C, -1))
+            else:
+                parts.append((b[li] - globals_b[li][None]).reshape(C, -1))
+    flat = np.concatenate(parts, axis=1)
+    for ci, (i, _) in enumerate(active):
+        deltas[i] = flat[ci]
+        losses[i] = loss_sum[ci] / max(n_batches[ci], 1.0)
+        accs[i] = correct[ci] / counts[ci]
+    return deltas, losses, accs
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+class FederatedEngine:
+    """Executes federated rounds fleet-wide instead of client-by-client.
+
+    Parameters mirror the seed-era ``FederatedServer`` plus:
+
+    fleet:
+        A :class:`~repro.devices.fleet.Fleet` whose live device state
+        (battery, network, idleness) feeds the scheduler each round.  When
+        given, participating devices also pay a training energy cost
+        proportional to their shard size and the model's per-inference cost
+        on their hardware profile.
+    device_map:
+        Optional ``client_id -> device_id`` mapping; defaults to the client
+        id itself.
+    scenario:
+        Optional :class:`RoundScenario` describing dropouts, stragglers and
+        byzantine clients.
+    """
+
+    def __init__(
+        self,
+        global_model: Sequential,
+        clients: Sequence[FederatedClient],
+        aggregator: Optional[Aggregator] = None,
+        compressor: Optional[UpdateCompressor] = None,
+        scheduler: Optional[ClientScheduler] = None,
+        eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        fleet=None,
+        device_map: Optional[Dict[str, str]] = None,
+        scenario: Optional[RoundScenario] = None,
+        train_energy_factor: float = 3.0,
+    ) -> None:
+        if not clients:
+            raise ValueError("at least one client is required")
+        self.global_model = global_model
+        self.clients: Dict[str, FederatedClient] = {c.client_id: c for c in clients}
+        self.aggregator = aggregator or FedAvgAggregator()
+        self.compressor = compressor or NoCompression()
+        self.scheduler = scheduler or RandomScheduler(fraction=1.0)
+        self.eval_data = eval_data
+        self.fleet = fleet
+        self.device_map = dict(device_map or {})
+        self.scenario = scenario
+        self.train_energy_factor = float(train_energy_factor)
+        self.history: List[RoundResult] = []
+        self._model_bytes = self.global_model.get_flat_weights().size * 4
+        self._cost_model = None
+
+    # -- fleet integration ----------------------------------------------
+    def _device_for(self, client_id: str):
+        if self.fleet is None:
+            return None
+        return self.fleet.devices.get(self.device_map.get(client_id, client_id))
+
+    def fleet_context(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """Live scheduler context built from the fleet's current state."""
+        if self.fleet is None:
+            return None
+        context: Dict[str, Dict[str, object]] = {}
+        for cid in self.clients:
+            device = self._device_for(cid)
+            if device is not None:
+                context[cid] = device.context()
+        return context
+
+    def _drain_training_energy(self, client_ids: Sequence[str]) -> None:
+        """Charge each training device for its local epochs (fwd + bwd)."""
+        if self.fleet is None or not client_ids:
+            return
+        if self._cost_model is None:
+            from repro.devices.cost import CostModel
+
+            self._cost_model = CostModel()
+        for cid in client_ids:
+            device = self._device_for(cid)
+            if device is None:
+                continue
+            client = self.clients[cid]
+            cost = self._cost_model.model_inference_cost(device.profile, self.global_model)
+            device.battery.draw(cost.energy_j * self.train_energy_factor * client.local_epochs * client.n_samples)
+
+    # -- scenario --------------------------------------------------------
+    def _apply_scenario(
+        self, selected: List[str], round_index: int
+    ) -> Tuple[List[str], List[str], int, int]:
+        """Split the selection into contributors vs dropouts/stragglers."""
+        sc = self.scenario
+        if sc is None:
+            return selected, [], 0, 0
+        rng = np.random.default_rng([sc.seed, round_index])
+        dropped = rng.random(len(selected)) < sc.dropout_rate
+        jitter = rng.lognormal(mean=0.0, sigma=sc.latency_jitter, size=len(selected))
+        survivors = [cid for cid, d in zip(selected, dropped) if not d]
+        n_dropouts = int(dropped.sum())
+        stragglers: List[str] = []
+        if sc.straggler_timeout_s is not None:
+            surviving = set(survivors)
+            keep = []
+            for cid, jit in zip(selected, jitter):
+                if cid not in surviving:
+                    continue
+                client = self.clients[cid]
+                latency = client.n_samples * client.local_epochs * sc.time_per_sample_s * jit
+                (keep if latency <= sc.straggler_timeout_s else stragglers).append(cid)
+            survivors = keep
+        return survivors, stragglers, n_dropouts, len(stragglers)
+
+    def _corrupt_deltas(self, contributors: Sequence[str], deltas: np.ndarray) -> int:
+        """Overwrite byzantine clients' rows in place; returns how many."""
+        sc = self.scenario
+        if sc is None or not sc.byzantine_ids:
+            return 0
+        n = 0
+        factor = -sc.byzantine_scale if sc.byzantine_mode == "flip" else sc.byzantine_scale
+        for i, cid in enumerate(contributors):
+            if cid in sc.byzantine_ids:
+                deltas[i] *= factor
+                n += 1
+        return n
+
+    # -- round execution -------------------------------------------------
+    def _collect_deltas(self, contributors: Sequence[str]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Local training for the contributors: vectorized when supported."""
+        clients = [self.clients[cid] for cid in contributors]
+        if vectorized_supported(self.global_model, clients):
+            return train_clients_batched(self.global_model, clients)
+        deltas = np.zeros((len(clients), self.global_model.get_flat_weights().size))
+        losses = np.zeros(len(clients))
+        accs = np.zeros(len(clients))
+        for i, client in enumerate(clients):
+            update = client.train_round(self.global_model)
+            deltas[i] = update.delta
+            losses[i] = update.local_loss
+            accs[i] = update.metrics.get("local_accuracy", 0.0)
+        return deltas, losses, accs
+
+    def run_round(
+        self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
+    ) -> RoundResult:
+        """Execute one vectorized round and append its result to ``history``."""
+        context = device_context if device_context is not None else self.fleet_context()
+        selected = self.scheduler.select(list(self.clients), round_index, context=context)
+        if not selected:
+            result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
+            self.history.append(result)
+            return result
+
+        contributors, stragglers, n_dropouts, n_stragglers = self._apply_scenario(selected, round_index)
+        downlink = self._model_bytes * len(selected)
+        if not contributors:
+            # Stragglers still trained (and pay for it) even though every
+            # update missed the deadline and the round aggregates nothing.
+            self._drain_training_energy(stragglers)
+            result = RoundResult(
+                round_index, [], 0.0, self._evaluate(), 0, int(downlink),
+                n_selected=len(selected), n_dropouts=n_dropouts, n_stragglers=n_stragglers,
+            )
+            self.history.append(result)
+            return result
+
+        deltas, losses, accs = self._collect_deltas(contributors)
+        n_byzantine = self._corrupt_deltas(contributors, deltas)
+        decompressed, nbytes = self.compressor.roundtrip_batch(deltas)
+        n_samples = np.array([self.clients[cid].n_samples for cid in contributors], dtype=np.float64)
+        if type(self.aggregator) is FedAvgAggregator:
+            # Fast path: we already hold the stack FedAvg would build, so
+            # skip the per-update object churn.
+            delta = self.aggregator.aggregate_stack(decompressed, n_samples)
+        else:
+            updates = [
+                ClientUpdate(
+                    client_id=cid,
+                    delta=decompressed[i],
+                    n_samples=self.clients[cid].n_samples,
+                    local_loss=float(losses[i]),
+                    metrics={"local_accuracy": float(accs[i])} if self.clients[cid].n_samples > 0 else {},
+                )
+                for i, cid in enumerate(contributors)
+            ]
+            delta = self.aggregator.aggregate(updates)
+        self.global_model.set_flat_weights(self.global_model.get_flat_weights() + delta)
+        self._drain_training_energy(list(contributors) + stragglers)
+
+        result = RoundResult(
+            round_index=round_index,
+            participants=list(contributors),
+            train_loss=float(np.mean(losses)),
+            global_accuracy=self._evaluate(),
+            uplink_bytes=int(nbytes.sum()),
+            downlink_bytes=int(downlink),
+            mean_local_accuracy=float(np.mean(accs)),
+            n_selected=len(selected),
+            n_dropouts=n_dropouts,
+            n_stragglers=n_stragglers,
+            n_byzantine=n_byzantine,
+        )
+        self.history.append(result)
+        return result
+
+    def run_round_legacy(
+        self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
+    ) -> RoundResult:
+        """The seed-era per-client round loop, kept as the equivalence and
+        performance baseline for ``bench_e6`` (no scenario support)."""
+        context = device_context if device_context is not None else self.fleet_context()
+        selected = self.scheduler.select(list(self.clients), round_index, context=context)
+        if not selected:
+            result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
+            self.history.append(result)
+            return result
+        updates: List[ClientUpdate] = []
+        uplink = 0
+        for cid in selected:
+            update = self.clients[cid].train_round(self.global_model)
+            decompressed, compressed = self.compressor.roundtrip(update.delta)
+            uplink += compressed.nbytes
+            updates.append(
+                ClientUpdate(
+                    client_id=update.client_id,
+                    delta=decompressed,
+                    n_samples=update.n_samples,
+                    local_loss=update.local_loss,
+                    metrics=update.metrics,
+                )
+            )
+        delta = self.aggregator.aggregate(updates)
+        self.global_model.set_flat_weights(self.global_model.get_flat_weights() + delta)
+        result = RoundResult(
+            round_index=round_index,
+            participants=selected,
+            train_loss=float(np.mean([u.local_loss for u in updates])),
+            global_accuracy=self._evaluate(),
+            uplink_bytes=int(uplink),
+            downlink_bytes=int(self._model_bytes * len(selected)),
+            mean_local_accuracy=float(np.mean([u.metrics.get("local_accuracy", 0.0) for u in updates])),
+            n_selected=len(selected),
+        )
+        self.history.append(result)
+        return result
+
+    def run(
+        self, n_rounds: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
+    ) -> List[RoundResult]:
+        """Run ``n_rounds`` federated rounds."""
+        return [self.run_round(r, device_context=device_context) for r in range(n_rounds)]
+
+    # -- reporting --------------------------------------------------------
+    def _evaluate(self) -> float:
+        if self.eval_data is None:
+            return 0.0
+        x, y = self.eval_data
+        return self.global_model.evaluate(x, y)["accuracy"]
+
+    def total_communication(self) -> Dict[str, float]:
+        """Aggregate uplink/downlink volume over all rounds so far."""
+        return {
+            "uplink_mb": sum(r.uplink_bytes for r in self.history) / 1e6,
+            "downlink_mb": sum(r.downlink_bytes for r in self.history) / 1e6,
+            "rounds": float(len(self.history)),
+        }
+
+
+def noniid_severity_sweep(
+    dataset,
+    alphas: Sequence[float],
+    model_fn,
+    n_clients: int = 10,
+    rounds: int = 3,
+    eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    seed: int = 0,
+    **client_kwargs,
+) -> Dict[float, Dict[str, float]]:
+    """Run short federated trainings across a Dirichlet non-IID severity sweep.
+
+    For each ``alpha`` the dataset is re-partitioned with
+    :func:`repro.data.federated.partition_dirichlet`, a fresh model from
+    ``model_fn()`` is trained for ``rounds`` engine rounds, and the sweep
+    reports the partition's label-skew statistics next to the resulting
+    accuracy — the paper's "federated learning must cope with heterogeneous
+    client data" trade-off as one table.
+    """
+    from repro.data.federated import partition_dirichlet, partition_statistics
+
+    results: Dict[float, Dict[str, float]] = {}
+    for alpha in alphas:
+        parts = partition_dirichlet(dataset, n_clients, alpha=alpha, seed=seed)
+        stats = partition_statistics(parts, dataset.num_classes)
+        clients = [FederatedClient(p, seed=seed + i, **client_kwargs) for i, p in enumerate(parts)]
+        engine = FederatedEngine(model_fn(), clients, eval_data=eval_data)
+        history = engine.run(rounds)
+        results[float(alpha)] = {
+            "final_accuracy": history[-1].global_accuracy,
+            "final_train_loss": history[-1].train_loss,
+            "mean_tv_distance": stats["mean_tv_distance"],
+            "size_imbalance": stats["size_imbalance"],
+        }
+    return results

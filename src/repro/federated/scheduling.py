@@ -17,6 +17,20 @@ import numpy as np
 __all__ = ["ClientScheduler", "RandomScheduler", "EligibilityScheduler", "EnergyAwareScheduler"]
 
 
+def _context_float(ctx: Dict[str, object], key: str, default: float = 0.0) -> float:
+    """A numeric context value, tolerating missing, None or junk entries.
+
+    Device context snapshots come from heterogeneous simulated firmware;
+    a missing or malformed field must make the device *ineligible*, never
+    crash the round.
+    """
+    value = ctx.get(key, default)
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default
+
+
 class ClientScheduler:
     """Base interface: select client ids to participate in a round."""
 
@@ -35,6 +49,8 @@ class RandomScheduler(ClientScheduler):
         self._rng = np.random.default_rng(seed)
 
     def select(self, client_ids: Sequence[str], round_index: int, context: Optional[Dict[str, Dict[str, object]]] = None) -> List[str]:
+        if not client_ids:
+            return []
         n = max(self.min_clients, int(round(self.fraction * len(client_ids))))
         n = min(n, len(client_ids))
         picked = self._rng.choice(len(client_ids), size=n, replace=False)
@@ -56,15 +72,14 @@ class EligibilityScheduler(ClientScheduler):
         self._rng = np.random.default_rng(seed)
 
     def _eligible(self, ctx: Dict[str, object]) -> bool:
-        if not ctx.get("network_online", False):
+        if not isinstance(ctx, dict) or not ctx.get("network_online", False):
             return False
         if self.require_unmetered and ctx.get("metered", False):
             return False
         if not ctx.get("idle", False):
             return False
         plugged = ctx.get("power_state") == "plugged_in"
-        soc = float(ctx.get("state_of_charge", 0.0))
-        return plugged or soc >= self.min_soc
+        return plugged or _context_float(ctx, "state_of_charge") >= self.min_soc
 
     def select(self, client_ids: Sequence[str], round_index: int, context: Optional[Dict[str, Dict[str, object]]] = None) -> List[str]:
         context = context or {}
@@ -93,12 +108,12 @@ class EnergyAwareScheduler(ClientScheduler):
         context = context or {}
 
         def score(cid: str) -> tuple:
-            ctx = context.get(cid, {})
+            ctx = context.get(cid) or {}
             plugged = 1 if ctx.get("power_state") == "plugged_in" else 0
-            soc = float(ctx.get("state_of_charge", 0.0))
+            soc = _context_float(ctx, "state_of_charge")
             online = 1 if ctx.get("network_online", False) else 0
             return (online, plugged, soc)
 
-        candidates = [cid for cid in client_ids if context.get(cid, {}).get("network_online", False)]
+        candidates = [cid for cid in client_ids if (context.get(cid) or {}).get("network_online", False)]
         ranked = sorted(candidates, key=lambda cid: (score(cid), cid), reverse=True)
         return ranked[: self.max_clients]

@@ -5,50 +5,39 @@ select clients (scheduler) → broadcast the global weights → collect locally
 trained updates → optionally compress / securely aggregate → apply the
 aggregated delta → evaluate.  It accounts the bytes exchanged per round so
 experiment E6 can compare compression schemes.
+
+Round execution lives in :class:`~repro.federated.engine.FederatedEngine`:
+``run_round`` trains every selected client at once with stacked batched
+tensors (falling back to the per-client loop for unsupported models), while
+``run_round_legacy`` keeps the seed-era loop as the equivalence baseline.
+The server adds the client-facing extras — personalization and the
+centralized upper-bound baseline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.model import Sequential
 
-from .aggregation import Aggregator, FedAvgAggregator
-from .client import ClientUpdate, FederatedClient
-from .compression import CompressedUpdate, NoCompression, UpdateCompressor
-from .scheduling import ClientScheduler, RandomScheduler
+from .aggregation import Aggregator
+from .client import FederatedClient
+from .compression import UpdateCompressor
+from .engine import FederatedEngine, RoundResult
+from .scheduling import ClientScheduler
 
 __all__ = ["RoundResult", "FederatedServer", "centralized_baseline"]
 
 
-@dataclass
-class RoundResult:
-    """Metrics of one federated round."""
+class FederatedServer(FederatedEngine):
+    """Coordinates federated training across a set of clients.
 
-    round_index: int
-    participants: List[str]
-    train_loss: float
-    global_accuracy: float
-    uplink_bytes: int
-    downlink_bytes: int
-    mean_local_accuracy: float = 0.0
-
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "round": self.round_index,
-            "n_participants": len(self.participants),
-            "train_loss": round(self.train_loss, 4),
-            "global_accuracy": round(self.global_accuracy, 4),
-            "uplink_kb": round(self.uplink_bytes / 1024, 2),
-            "downlink_kb": round(self.downlink_bytes / 1024, 2),
-        }
-
-
-class FederatedServer:
-    """Coordinates federated training across a set of clients."""
+    A thin facade over :class:`FederatedEngine` keeping the seed-era
+    constructor signature (no fleet wiring) plus per-client
+    personalization.
+    """
 
     def __init__(
         self,
@@ -59,77 +48,14 @@ class FederatedServer:
         scheduler: Optional[ClientScheduler] = None,
         eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
-        if not clients:
-            raise ValueError("at least one client is required")
-        self.global_model = global_model
-        self.clients: Dict[str, FederatedClient] = {c.client_id: c for c in clients}
-        self.aggregator = aggregator or FedAvgAggregator()
-        self.compressor = compressor or NoCompression()
-        self.scheduler = scheduler or RandomScheduler(fraction=1.0)
-        self.eval_data = eval_data
-        self.history: List[RoundResult] = []
-        self._model_bytes = self.global_model.get_flat_weights().size * 4
-
-    # ------------------------------------------------------------------
-    def run_round(self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None) -> RoundResult:
-        """Execute one round and append its result to ``history``."""
-        client_ids = list(self.clients)
-        selected = self.scheduler.select(client_ids, round_index, context=device_context)
-        if not selected:
-            # Nothing eligible this round: record an empty round.
-            result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
-            self.history.append(result)
-            return result
-
-        updates: List[ClientUpdate] = []
-        uplink = 0
-        for cid in selected:
-            update = self.clients[cid].train_round(self.global_model)
-            decompressed, compressed = self.compressor.roundtrip(update.delta)
-            uplink += compressed.nbytes
-            updates.append(
-                ClientUpdate(
-                    client_id=update.client_id,
-                    delta=decompressed,
-                    n_samples=update.n_samples,
-                    local_loss=update.local_loss,
-                    metrics=update.metrics,
-                )
-            )
-        delta = self.aggregator.aggregate(updates)
-        new_weights = self.global_model.get_flat_weights() + delta
-        self.global_model.set_flat_weights(new_weights)
-
-        result = RoundResult(
-            round_index=round_index,
-            participants=selected,
-            train_loss=float(np.mean([u.local_loss for u in updates])),
-            global_accuracy=self._evaluate(),
-            uplink_bytes=int(uplink),
-            downlink_bytes=int(self._model_bytes * len(selected)),
-            mean_local_accuracy=float(np.mean([u.metrics.get("local_accuracy", 0.0) for u in updates])),
+        super().__init__(
+            global_model,
+            clients,
+            aggregator=aggregator,
+            compressor=compressor,
+            scheduler=scheduler,
+            eval_data=eval_data,
         )
-        self.history.append(result)
-        return result
-
-    def run(self, n_rounds: int, device_context: Optional[Dict[str, Dict[str, object]]] = None) -> List[RoundResult]:
-        """Run ``n_rounds`` federated rounds."""
-        return [self.run_round(r, device_context=device_context) for r in range(n_rounds)]
-
-    # ------------------------------------------------------------------
-    def _evaluate(self) -> float:
-        if self.eval_data is None:
-            return 0.0
-        x, y = self.eval_data
-        return self.global_model.evaluate(x, y)["accuracy"]
-
-    def total_communication(self) -> Dict[str, float]:
-        """Aggregate uplink/downlink volume over all rounds so far."""
-        return {
-            "uplink_mb": sum(r.uplink_bytes for r in self.history) / 1e6,
-            "downlink_mb": sum(r.downlink_bytes for r in self.history) / 1e6,
-            "rounds": float(len(self.history)),
-        }
 
     def personalize_all(self, epochs: int = 3) -> Dict[str, Dict[str, float]]:
         """Personalize every client and report global-vs-personal accuracy."""
