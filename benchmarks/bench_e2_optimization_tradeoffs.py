@@ -4,15 +4,34 @@ Expected shape (matches the TinyML literature the paper cites): 8-bit is
 essentially lossless while shrinking the model 4x; very low bit widths and
 very high sparsities degrade accuracy; low precision only speeds devices up
 when they have native kernels for it.
+
+Also measures the compiled inference engine: the flat fused-kernel plan
+(:class:`repro.exchange.CompiledExecutor`) against the per-node reference
+interpreter on a CNN keyword-spotting serving workload (guardrail ≥10x with
+allclose-identical logits), and a heterogeneous fleet-variant sweep
+(fp32 / int8 / pruned artifacts served by one :class:`FleetExecutor`).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.data import make_keyword_spectrograms
 from repro.devices import CostModel, get_profile
-from repro.optimize import VariantGenerator, pareto_front
+from repro.exchange import (
+    CompiledExecutor,
+    FleetExecutor,
+    GraphExecutor,
+    PassPipeline,
+    annotate_quantization,
+    expand_fused_activations,
+    from_sequential,
+)
+from repro.nn import make_tiny_cnn
+from repro.optimize import VariantGenerator, magnitude_prune, pareto_front
 
 
 @pytest.fixture(scope="module")
@@ -72,3 +91,104 @@ def test_e2_low_precision_speedup_requires_hw_support(variant_table):
     mcu_int4 = cm.model_inference_cost(mcu, int4.model, bits=4).latency_s
     assert dsp_int4 < dsp_fp32  # native support -> speed-up
     assert mcu_int4 >= mcu_int8  # no native 4-bit kernels -> no speed-up
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _kws_graph(bits: int = 8, seed: int = 0):
+    """A keyword-spotting CNN lowered the way the compiler ships it."""
+    cnn = make_tiny_cnn((12, 12, 1), 4, filters=(4, 8), dense_width=16, seed=seed, name="kws-cnn")
+    lowered = PassPipeline.standard_inference().run(from_sequential(cnn))
+    return annotate_quantization(lowered, bits=bits) if bits < 32 else lowered
+
+
+def test_e2_compiled_executor_speedup(benchmark, smoke_mode):
+    """Compiled plan vs reference interpreter on per-query KWS serving (≥10x).
+
+    The serving path receives one query per device per window (the paper's
+    metering granularity); the reference interpreter pays its per-node
+    attribute/dispatch overhead on every query while the compiled plan
+    executes all windows as one stacked, chunk-tiled sweep.  Logits must be
+    allclose-identical window by window.
+    """
+    n_windows = 400 if smoke_mode else 2000
+    graph = _kws_graph(bits=8)
+    ds = make_keyword_spectrograms(n_samples=n_windows, n_mels=12, n_frames=12, num_keywords=4, seed=0)
+    windows = [ds.x[i : i + 1] for i in range(n_windows)]
+    reference = GraphExecutor(expand_fused_activations(graph))
+    compiled = CompiledExecutor(graph)
+
+    def scenario():
+        # Warm both paths at full size (quantized-weight cache, workspace
+        # buffers), then take the best of three timed passes each so a
+        # transient scheduler hiccup cannot fake a regression.
+        ref_outs = [reference.run(w) for w in windows]
+        comp_outs = compiled.run_many(windows)
+        t_ref = min(_timed(lambda: [reference.run(w) for w in windows]) for _ in range(3))
+        t_comp = min(_timed(lambda: compiled.run_many(windows)) for _ in range(3))
+        identical = all(
+            np.allclose(a, b, atol=1e-8, rtol=1e-8) for a, b in zip(ref_outs, comp_outs)
+        )
+        return {
+            "n_windows": n_windows,
+            "reference_s": t_ref,
+            "compiled_s": t_comp,
+            "speedup": t_ref / max(t_comp, 1e-12),
+            "identical_logits": identical,
+            "queries_per_s_compiled": n_windows / max(t_comp, 1e-12),
+        }
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert result["identical_logits"], "compiled logits diverged from the reference oracle"
+    assert result["speedup"] >= 10.0, f"compiled engine only {result['speedup']:.1f}x faster"
+    benchmark.extra_info.update(result)
+
+
+def test_e2_fleet_variant_sweep_compiled(benchmark, smoke_mode):
+    """Heterogeneous variants (fp32 / int8 / pruned) served in one fleet sweep.
+
+    Every device runs the artifact its class would receive; the FleetExecutor
+    groups devices by variant and batches each group, and every device's
+    output must match its variant's reference execution exactly.
+    """
+    n_devices = 12 if smoke_mode else 48
+    base = make_tiny_cnn((12, 12, 1), 4, filters=(4, 8), dense_width=16, seed=0, name="kws-base")
+    lowered = PassPipeline.standard_inference().run(from_sequential(base))
+    graphs = {
+        "fp32": lowered,
+        "int8": annotate_quantization(lowered, bits=8),
+        "pruned": PassPipeline.standard_inference().run(from_sequential(magnitude_prune(base, 0.8))),
+    }
+    fleet = FleetExecutor.from_graphs(graphs)
+    variants = list(graphs)
+    device_ids = [f"dev-{i}" for i in range(n_devices)]
+    assignments = {d: variants[i % len(variants)] for i, d in enumerate(device_ids)}
+    ds = make_keyword_spectrograms(n_samples=4 * n_devices, n_mels=12, n_frames=12, num_keywords=4, seed=1)
+    rng = np.random.default_rng(2)
+    inputs = {d: ds.x[rng.integers(0, len(ds.x), size=1 + i % 4)] for i, d in enumerate(device_ids)}
+
+    def scenario():
+        t0 = time.perf_counter()
+        outputs = fleet.run_fleet(assignments, inputs)
+        t_sweep = time.perf_counter() - t0
+        refs = {name: GraphExecutor(expand_fused_activations(g)) for name, g in graphs.items()}
+        matches = all(
+            np.allclose(outputs[d], refs[assignments[d]].run(inputs[d]), atol=1e-8, rtol=1e-8)
+            for d in device_ids
+        )
+        return {
+            "devices": n_devices,
+            "variants": len(graphs),
+            "queries": int(sum(w.shape[0] for w in inputs.values())),
+            "sweep_s": t_sweep,
+            "outputs_match_reference": matches,
+        }
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert result["outputs_match_reference"]
+    assert set(fleet.run_fleet(assignments, inputs)) == set(device_ids)
+    benchmark.extra_info.update(result)

@@ -202,6 +202,11 @@ class TinyMLOpsPlatform:
                 backend_key=self.billing.signing_key(),
             )
             self.ledgers[device.device_id] = ledger
+        if per_variant:
+            # Server-side compiled plan for the fleet-scale serving path:
+            # platform.serve / serve_fleet execute this plan instead of the
+            # layer-by-layer nn forward.
+            self.serving.compile_model(model_name)
         summary = {
             "deployed": sum(per_variant.values()),
             "failed": len(failures),
@@ -304,6 +309,11 @@ class TinyMLOpsPlatform:
             scenario=scenario,
         )
         history = engine.run(rounds)
+        if model_name in self.serving.plans:
+            # The rounds mutated the model's weights in place; the compiled
+            # serving plan folded the old weights at compile time and must
+            # be rebuilt or serving would keep predicting with stale ones.
+            self.serving.compile_model(model_name)
         new_version = self.registry.register_model(model, kind="federated", parents=(self.registry.latest(model_name, kind="base").version_id,), tags={"rounds": rounds})
         self._log("federated_update", model=model_name, rounds=rounds, final_accuracy=history[-1].global_accuracy if history else 0.0)
         return {

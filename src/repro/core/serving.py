@@ -123,12 +123,55 @@ class ServingEngine:
         models: Optional[MutableMapping[str, object]] = None,
         ledgers: Optional[MutableMapping[str, UsageLedger]] = None,
         monitors: Optional[MutableMapping[str, EdgeMonitor]] = None,
+        plans: Optional[MutableMapping[str, object]] = None,
     ) -> None:
         self.fleet = fleet
         self.cost_model = cost_model or CostModel()
         self.models: MutableMapping[str, object] = models if models is not None else {}
         self.ledgers: MutableMapping[str, UsageLedger] = ledgers if ledgers is not None else {}
         self.monitors: MutableMapping[str, EdgeMonitor] = monitors if monitors is not None else {}
+        # Compiled plans (repro.exchange.CompiledExecutor) keyed by model
+        # name; when present they replace the per-query nn.Model forward in
+        # serve_batch.  Opt-in via compile_model so existing worlds keep the
+        # model path untouched.
+        self.plans: MutableMapping[str, object] = plans if plans is not None else {}
+        self._plan_options: Dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def compile_model(self, model_name: str, pipeline=None, apply_quantization: Optional[bool] = None):
+        """Lower a deployed model into a compiled plan for the serving path.
+
+        The model is exported to the graph IR, run through the standard
+        inference passes (or a caller-supplied
+        :class:`~repro.exchange.PassPipeline`) and compiled into a
+        :class:`~repro.exchange.CompiledExecutor`; subsequent
+        :meth:`serve_batch` calls for this model execute the plan instead of
+        the layer-by-layer ``nn`` forward.
+
+        Omitted arguments reuse the options of the previous
+        :meth:`compile_model` call for this model, so rebuilds after weight
+        updates (e.g. a federated round) keep any custom lowering.
+        """
+        from repro.exchange import CompiledExecutor, PassPipeline, from_sequential
+
+        stored_pipeline, stored_quant = self._plan_options.get(model_name, (None, True))
+        if pipeline is None:
+            pipeline = stored_pipeline
+        if apply_quantization is None:
+            apply_quantization = stored_quant
+        model = self.models[model_name]
+        lowering = pipeline or PassPipeline.standard_inference()
+        plan = CompiledExecutor(lowering.run(from_sequential(model)), apply_quantization=apply_quantization)
+        self.plans[model_name] = plan
+        self._plan_options[model_name] = (pipeline, apply_quantization)
+        return plan
+
+    def _predict_classes(self, model_name: str, x: np.ndarray) -> np.ndarray:
+        """Class predictions via the compiled plan when one is registered."""
+        plan = self.plans.get(model_name)
+        if plan is not None:
+            return plan.run(x).argmax(axis=-1)
+        return self.models[model_name].predict_classes(x)
 
     # ------------------------------------------------------------------
     def serve_batch(self, device_id: str, model_name: str, x: np.ndarray, bits: int = 32) -> ServeResult:
@@ -153,7 +196,7 @@ class ServingEngine:
         battery_failures = granted - served
 
         if monitor is not None and served:
-            preds = model.predict_classes(x[:served])
+            preds = self._predict_classes(model_name, x[:served])
             monitor.observe_window(
                 x[:served],
                 predictions=preds,

@@ -2,8 +2,9 @@
 
 from .analysis import graph_cost, memory_plan, per_node_cost, split_point_costs
 from .compat import CompatibilityChecker, CompatibilityIssue, CompatibilityReport
+from .compiled import CompiledExecutor, FleetExecutor
 from .compiler import CompilationError, CompiledArtifact, Compiler
-from .executor import GraphExecutor, execute_graph
+from .executor import GraphExecutor, execute_graph, quantize_node_params
 from .graph import GraphIR, GraphNode, from_sequential
 from .ops import OP_REGISTRY, OpSpec, get_op_spec, infer_shape, op_flops
 from .passes import (
@@ -23,6 +24,9 @@ __all__ = [
     "from_sequential",
     "GraphExecutor",
     "execute_graph",
+    "quantize_node_params",
+    "CompiledExecutor",
+    "FleetExecutor",
     "OpSpec",
     "OP_REGISTRY",
     "get_op_spec",

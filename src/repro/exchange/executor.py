@@ -18,26 +18,72 @@ from repro.nn.layers import col2im, im2col
 
 from .graph import GraphIR, GraphNode
 
-__all__ = ["GraphExecutor", "execute_graph"]
+__all__ = ["GraphExecutor", "execute_graph", "quantize_node_params"]
 
 
 def _fake_quantize(x: np.ndarray, bits: int, symmetric: bool = True) -> np.ndarray:
-    """Quantize-dequantize a tensor to the given bit width (per-tensor)."""
+    """Quantize-dequantize a tensor to the given bit width (per-tensor).
+
+    The symmetric scheme clamps the scale to the smallest normal float so
+    subnormal inputs cannot underflow it to zero (which would turn
+    ``x / scale`` into inf/NaN).  The asymmetric scheme uses an *integer*
+    zero-point over a range nudged to include 0.0 — the standard affine
+    quantizer contract: real zero is always exactly representable, and
+    constant tensors survive the round trip.
+    """
     if bits >= 32:
         return x
     if bits <= 0:
         raise ValueError("bits must be positive")
+    x = np.asarray(x)
+    if x.size == 0:
+        return np.asarray(x, dtype=np.float64)
+    tiny = np.finfo(np.float64).tiny
     if symmetric:
         qmax = 2 ** (bits - 1) - 1 if bits > 1 else 1
-        scale = np.max(np.abs(x)) / qmax if np.max(np.abs(x)) > 0 else 1.0
+        max_abs = float(np.max(np.abs(x)))
+        scale = max(max_abs / qmax, tiny) if max_abs > 0 else 1.0
         q = np.clip(np.round(x / scale), -qmax - (0 if bits == 1 else 1), qmax)
         return q * scale
-    lo, hi = float(x.min()), float(x.max())
     qmax = 2**bits - 1
-    scale = (hi - lo) / qmax if hi > lo else 1.0
-    zero = -lo / scale if scale else 0.0
-    q = np.clip(np.round(x / scale + zero), 0, qmax)
+    lo = min(float(x.min()), 0.0)
+    hi = max(float(x.max()), 0.0)
+    if hi > lo:
+        scale = max((hi - lo) / qmax, tiny)
+        zero = float(np.round(np.clip(-lo / scale, 0.0, qmax)))
+    else:
+        scale, zero = 1.0, 0.0
+    q = np.clip(np.round(x / scale + zero), 0.0, qmax)
     return (q - zero) * scale
+
+
+def quantize_node_params(node: GraphNode, apply_quantization: bool = True) -> Dict[str, np.ndarray]:
+    """Fake-quantize a node's weights according to its ``bits`` annotations.
+
+    Shared by the reference :class:`GraphExecutor` (which caches the result
+    per node) and the compiled engine in :mod:`repro.exchange.compiled`
+    (which folds it once at compile time), so both executors are guaranteed
+    to run bit-identical weights.
+    """
+    bits = int(node.attrs.get("bits", 32))
+    if not apply_quantization or bits >= 32 or not node.params:
+        return node.params
+    scheme = str(node.attrs.get("quant_scheme", "symmetric"))
+    per_channel = bool(node.attrs.get("per_channel", False))
+    quantized: Dict[str, np.ndarray] = {}
+    for key, value in node.params.items():
+        if key == "W" and per_channel and value.ndim >= 2:
+            # Quantize each output channel (last axis) independently.
+            flat = value.reshape(-1, value.shape[-1])
+            out = np.empty_like(flat)
+            for c in range(flat.shape[1]):
+                out[:, c] = _fake_quantize(flat[:, c], bits, scheme == "symmetric")
+            quantized[key] = out.reshape(value.shape)
+        elif key in ("W",):
+            quantized[key] = _fake_quantize(value, bits, scheme == "symmetric")
+        else:
+            quantized[key] = value  # biases / BN stats stay high precision
+    return quantized
 
 
 class GraphExecutor:
@@ -66,21 +112,7 @@ class GraphExecutor:
         cached = self._quantized_params.get(node.name)
         if cached is not None:
             return cached
-        scheme = str(node.attrs.get("quant_scheme", "symmetric"))
-        per_channel = bool(node.attrs.get("per_channel", False))
-        quantized: Dict[str, np.ndarray] = {}
-        for key, value in node.params.items():
-            if key == "W" and per_channel and value.ndim >= 2:
-                # Quantize each output channel (last axis) independently.
-                flat = value.reshape(-1, value.shape[-1])
-                out = np.empty_like(flat)
-                for c in range(flat.shape[1]):
-                    out[:, c] = _fake_quantize(flat[:, c], bits, scheme == "symmetric")
-                quantized[key] = out.reshape(value.shape)
-            elif key in ("W",):
-                quantized[key] = _fake_quantize(value, bits, scheme == "symmetric")
-            else:
-                quantized[key] = value  # biases / BN stats stay high precision
+        quantized = quantize_node_params(node, apply_quantization=True)
         self._quantized_params[node.name] = quantized
         return quantized
 

@@ -161,15 +161,29 @@ def model_module(model, name: Optional[str] = None, bits: int = 32) -> Module:
 
 
 def graph_module(graph, name: Optional[str] = None) -> Module:
-    """Wrap a compiled :class:`repro.exchange.GraphIR` as a pipeline module."""
-    from repro.exchange.executor import GraphExecutor
-    from repro.exchange.passes import expand_fused_activations
+    """Wrap a lowered :class:`repro.exchange.GraphIR` as a pipeline module.
 
-    executor = GraphExecutor(expand_fused_activations(graph))
+    The graph executes through the compiled plan
+    (:class:`repro.exchange.CompiledExecutor`): fused activations run
+    natively (no re-expansion), quantized weights are folded once, and
+    workspaces are reused across calls.
+    """
+    from repro.exchange.compiled import CompiledExecutor
+
+    executor = CompiledExecutor(graph)
     return Module(
         name=name or graph.name,
-        fn=lambda x: executor.run(np.asarray(x, dtype=np.float64)),
+        fn=executor.run,
         requires=frozenset({Capability.COMPUTE}),
         size_bytes=graph.size_bytes(),
-        metadata={"kind": "graph", "bits": graph.metadata.get("bits", 32), "target": graph.metadata.get("target")},
+        metadata={
+            "kind": "graph",
+            "bits": graph.metadata.get("bits", 32),
+            "target": graph.metadata.get("target"),
+            "compiled": True,
+            # Data-dependent quantization makes per-sample outputs depend on
+            # the rest of the batch; Pipeline.run_many must not stack
+            # windows through such a module.
+            "stackable": executor.stacking_exact,
+        },
     )

@@ -91,6 +91,37 @@ class Orchestrator:
         """Devices that currently host a pipeline."""
         return sorted(d for d, pipes in self.placements.items() if pipeline_name in pipes)
 
+    def broadcast(self, pipeline: Pipeline, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run a placed pipeline over every hosting device's window.
+
+        Devices without a configured sandbox execute through one batched
+        :meth:`~repro.runtime.pipeline.Pipeline.run_many` sweep — the
+        compiled plans behind the pipeline's stages see a single stacked
+        batch instead of one call per device.  Sandboxed devices run
+        per-device through their own :class:`~repro.runtime.modules.Sandbox`
+        so capability enforcement and the execution audit log stay exactly
+        as in individual :meth:`~repro.runtime.pipeline.Pipeline.run`
+        calls; devices whose sandbox lacks a required capability are
+        skipped up front (exactly the devices :meth:`place` would refuse).
+        """
+        required = pipeline.required_capabilities()
+        unsandboxed: List[str] = []
+        sandboxed: List[str] = []
+        for device_id in self.devices_running(pipeline.name):
+            if device_id not in inputs:
+                continue
+            sandbox = self.sandboxes.get(device_id)
+            if sandbox is None:
+                unsandboxed.append(device_id)
+            elif required <= sandbox.granted:
+                sandboxed.append(device_id)
+        outputs: Dict[str, np.ndarray] = dict(
+            zip(unsandboxed, pipeline.run_many([inputs[d] for d in unsandboxed]))
+        )
+        for device_id in sandboxed:
+            outputs[device_id] = pipeline.run(inputs[device_id], sandbox=self.sandboxes[device_id])
+        return outputs
+
     def coverage(self, pipeline_name: str) -> float:
         """Fraction of the fleet running a pipeline."""
         return len(self.devices_running(pipeline_name)) / max(len(self.fleet), 1)

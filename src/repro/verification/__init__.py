@@ -2,11 +2,12 @@
 
 from .commitments import MerkleTree, commit_model_weights, verify_weight_chunk
 from .enclave import EnclaveReport, SimulatedEnclave, slalom_partition
-from .freivalds import FreivaldsVerifier, freivalds_check
+from .freivalds import FreivaldsVerifier, freivalds_check, verify_compiled_run
 from .protocol import ExecutionTranscript, TranscriptVerifier, VerifiableExecutor
 
 __all__ = [
     "freivalds_check",
+    "verify_compiled_run",
     "FreivaldsVerifier",
     "MerkleTree",
     "commit_model_weights",

@@ -13,11 +13,11 @@ trial (so ≥ 1 - 2^-k for k trials).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["freivalds_check", "FreivaldsVerifier"]
+__all__ = ["freivalds_check", "FreivaldsVerifier", "verify_compiled_run"]
 
 
 def freivalds_check(
@@ -75,3 +75,34 @@ class FreivaldsVerifier:
     def soundness_error(self) -> float:
         """Upper bound on the probability an incorrect product is accepted."""
         return 0.5**self.n_trials
+
+
+def verify_compiled_run(
+    plan,
+    x: np.ndarray,
+    n_trials: int = 8,
+    seed: int = 0,
+    tolerance: float = 1e-6,
+) -> Dict[str, object]:
+    """Execute a compiled plan and Freivalds-verify every GEMM it performed.
+
+    ``plan`` is a :class:`repro.exchange.CompiledExecutor`.  Running it with
+    GEMM recording yields the ``(A, B, C)`` triple of every dense *and*
+    conv-as-im2col matrix product — extending the randomized check to
+    convolutions, which the layer-wise transcript protocol
+    (:mod:`repro.verification.protocol`) still re-executes directly.  Each
+    triple is checked in O(rows·cols) instead of recomputed in O(n³).
+
+    Returns the plan output together with the verification verdict; the
+    overall soundness error is union-bounded over the checked GEMMs.
+    """
+    output, gemms = plan.run(x, record_gemms=True)
+    verifier = FreivaldsVerifier(n_trials=n_trials, seed=seed, tolerance=tolerance)
+    failed: List[int] = [i for i, (a, b, c) in enumerate(gemms) if not verifier.verify(a, b, c)]
+    return {
+        "output": output,
+        "valid": not failed,
+        "checked_gemms": len(gemms),
+        "failed_gemms": failed,
+        "soundness_error": min(1.0, len(gemms) * verifier.soundness_error),
+    }

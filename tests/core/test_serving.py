@@ -267,3 +267,69 @@ class TestTrafficGenerators:
     def test_empty_device_list_rejected(self):
         with pytest.raises(ValueError):
             TrafficGenerator([])
+
+
+class TestCompiledServing:
+    """serve_batch through a compiled plan must match the model path exactly."""
+
+    def test_compile_model_registers_plan_and_matches_model_path(self):
+        x = queries(60)
+        eng_plan, led_p, dev_p, _ = make_world(with_monitor=True)
+        eng_model, led_m, dev_m, _ = make_world(with_monitor=True)
+        plan = eng_plan.compile_model("m")
+        assert eng_plan.plans["m"] is plan
+        rp = eng_plan.serve_batch("dev-0", "m", x)
+        rm = eng_model.serve_batch("dev-0", "m", x)
+        assert rp == rm
+        assert led_p.used("m") == led_m.used("m")
+        assert dev_p.battery.level_j == dev_m.battery.level_j
+        # the two paths fed their monitors the same served slice and preds
+        mon_p, mon_m = eng_plan.monitors["dev-0"], eng_model.monitors["dev-0"]
+        assert mon_p.any_drift() == mon_m.any_drift()
+
+    def test_plan_predictions_equal_model_predictions(self):
+        engine, _, _, _ = make_world()
+        engine.compile_model("m")
+        x = queries(200, seed=5)
+        np.testing.assert_array_equal(
+            engine._predict_classes("m", x), engine.models["m"].predict_classes(x)
+        )
+
+    def test_serve_fleet_uses_compiled_plan(self):
+        engine, _, _, _ = make_world(quota=10_000, with_monitor=True)
+        engine.compile_model("m")
+        report = engine.serve_fleet("m", {"dev-0": queries(40)})
+        assert report.served == 40 and report.requested == 40
+
+    def test_federated_update_recompiles_serving_plan(self):
+        """Weight updates must not leave the serving plan predicting with
+        stale folded weights."""
+        from repro.core import PlatformConfig, TinyMLOpsPlatform
+        from repro.data import make_gaussian_blobs, partition_dirichlet
+        from repro.devices import Fleet
+
+        ds = make_gaussian_blobs(400, 12, 4, seed=3)
+        train, test = ds.split(0.3, seed=3)
+        fleet = Fleet.random(6, seed=3)
+        platform = TinyMLOpsPlatform(fleet, PlatformConfig(bit_widths=(8,), sparsities=(0.5,), seed=3))
+        model = make_mlp(12, 4, hidden=(16,), seed=3, name="fed-m")
+        model.fit(train.x, train.y, epochs=2, lr=0.01, seed=3)
+        platform.release(model, test.x, test.y)
+        platform.deploy("fed-m", prepaid_queries=100)
+        parts = partition_dirichlet(train, 4, alpha=1.0, seed=3)
+        platform.federated_update("fed-m", parts, rounds=1)
+        plan = platform.serving.plans["fed-m"]
+        np.testing.assert_array_equal(
+            plan.run(test.x[:32]).argmax(-1), model.predict_classes(test.x[:32])
+        )
+
+    def test_recompile_preserves_custom_plan_options(self):
+        """A rebuild after weight updates must keep a custom lowering."""
+        from repro.exchange import PassPipeline, annotate_quantization
+
+        engine, _, _, _ = make_world()
+        custom = PassPipeline.standard_inference().add(lambda g: annotate_quantization(g, bits=8))
+        plan = engine.compile_model("m", pipeline=custom)
+        assert plan.graph.metadata.get("bits") == 8
+        rebuilt = engine.compile_model("m")  # no args: reuse stored options
+        assert rebuilt.graph.metadata.get("bits") == 8

@@ -1,0 +1,146 @@
+"""Property-based tests: compiler passes preserve graph semantics.
+
+Random dense/batchnorm/activation/dropout chains are generated with
+hypothesis; every pass of ``PassPipeline.standard_inference()`` (and the
+composed pipeline) must preserve the graph's numeric semantics, including
+``fold_batchnorm`` on near-zero variances and the
+``fuse_activations``/``expand_fused_activations`` round-trip.  The compiled
+engine is held to the same oracle on every generated graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exchange import (
+    CompiledExecutor,
+    GraphExecutor,
+    GraphIR,
+    GraphNode,
+    PassPipeline,
+    eliminate_dropout,
+    expand_fused_activations,
+    fold_batchnorm,
+    fuse_activations,
+)
+
+ACTIVATIONS = ("relu", "relu6", "leaky_relu", "sigmoid", "tanh", "hard_sigmoid", "linear")
+
+
+@st.composite
+def dense_chain_graphs(draw):
+    """A random dense/BN/activation/dropout chain plus a matching input batch."""
+    in_dim = draw(st.integers(2, 8))
+    n_blocks = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    nodes = []
+    dim = in_dim
+    if draw(st.booleans()):
+        # Leading BatchNorm: not foldable (no preceding compute node).
+        nodes.append(_bn_node("bn_head", dim, rng, tiny_var=draw(st.booleans())))
+    for i in range(n_blocks):
+        units = draw(st.integers(1, 8))
+        use_bias = draw(st.booleans())
+        params = {"W": rng.normal(size=(dim, units))}
+        if use_bias:
+            params["b"] = rng.normal(size=units)
+        nodes.append(GraphNode(f"dense_{i}", "dense", {"units": units, "use_bias": use_bias}, params))
+        dim = units
+        if draw(st.booleans()):
+            nodes.append(_bn_node(f"bn_{i}", dim, rng, tiny_var=draw(st.booleans())))
+        if draw(st.booleans()):
+            nodes.append(GraphNode(f"act_{i}", draw(st.sampled_from(ACTIVATIONS))))
+        if draw(st.booleans()):
+            nodes.append(GraphNode(f"drop_{i}", "dropout", {"rate": 0.5}))
+    graph = GraphIR(nodes, (in_dim,), name="hyp_graph")
+    x = rng.normal(size=(draw(st.integers(1, 6)), in_dim))
+    return graph, x
+
+
+def _bn_node(name: str, dim: int, rng: np.random.Generator, tiny_var: bool) -> GraphNode:
+    var = rng.uniform(0.0, 1e-12, size=dim) if tiny_var else rng.uniform(0.5, 2.0, size=dim)
+    return GraphNode(
+        name,
+        "batchnorm",
+        {"eps": 1e-5},
+        {
+            "gamma": rng.normal(size=dim),
+            "beta": rng.normal(size=dim),
+            "running_mean": rng.normal(size=dim),
+            "running_var": var,
+        },
+    )
+
+
+def _reference(graph: GraphIR, x: np.ndarray) -> np.ndarray:
+    """Semantic oracle: reference interpreter over re-expanded activations."""
+    return GraphExecutor(expand_fused_activations(graph), apply_quantization=False).run(x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_chain_graphs())
+def test_each_standard_pass_preserves_semantics(case):
+    """eliminate_dropout, fold_batchnorm and fuse_activations are all no-ops numerically."""
+    graph, x = case
+    expected = _reference(graph, x)
+    for graph_pass in PassPipeline.standard_inference().passes:
+        out = _reference(graph_pass(graph), x)
+        np.testing.assert_allclose(out, expected, rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_chain_graphs())
+def test_standard_pipeline_preserves_semantics(case):
+    graph, x = case
+    lowered = PassPipeline.standard_inference().run(graph)
+    np.testing.assert_allclose(_reference(lowered, x), _reference(graph, x), rtol=1e-8, atol=1e-8)
+    assert "dropout" not in lowered.op_types()
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_chain_graphs())
+def test_fold_batchnorm_folds_and_stays_finite(case):
+    """Folding removes every BN behind a compute node, even with var ~ 0."""
+    graph, x = case
+    folded = fold_batchnorm(graph)
+    foldable = {
+        node.name
+        for prev, node in zip(graph.nodes, graph.nodes[1:])
+        if node.op_type == "batchnorm" and prev.op_type in ("conv2d", "dense", "depthwise_conv2d")
+    }
+    assert not foldable & {n.name for n in folded.nodes}
+    out = _reference(folded, x)
+    assert np.all(np.isfinite(out))
+    np.testing.assert_allclose(out, _reference(graph, x), rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_chain_graphs())
+def test_fuse_expand_roundtrip(case):
+    """expand_fused_activations inverts fuse_activations exactly."""
+    graph, x = case
+    clean = eliminate_dropout(graph)
+    fused = fuse_activations(clean)
+    expanded = expand_fused_activations(fused)
+    assert expanded.op_types() == clean.op_types()
+    assert not any("fused_activation" in n.attrs for n in expanded.nodes)
+    np.testing.assert_allclose(
+        GraphExecutor(expanded, apply_quantization=False).run(x),
+        GraphExecutor(clean, apply_quantization=False).run(x),
+        rtol=1e-10,
+        atol=1e-10,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense_chain_graphs())
+def test_compiled_executor_matches_oracle_on_random_graphs(case):
+    """The compiled engine tracks the oracle across the whole random family."""
+    graph, x = case
+    lowered = PassPipeline.standard_inference().run(graph)
+    np.testing.assert_allclose(
+        CompiledExecutor(lowered).run(x), _reference(lowered, x), rtol=1e-8, atol=1e-8
+    )

@@ -201,3 +201,127 @@ class TestOffloading:
         decision = find_best_split(graph, get_profile("phone-flagship"), get_profile("cloud"), slow)
         # With a very slow uplink, running everything on a capable edge device wins.
         assert decision.split_after == len(graph) - 1
+
+
+class TestBatchedPipelineExecution:
+    def test_run_many_matches_per_window_run(self, trained_mlp, blobs):
+        _, test = blobs
+        pipeline = Pipeline([model_module(trained_mlp), softmax_module(), argmax_module()], name="clf")
+        windows = [test.x[:5], test.x[5:5], test.x[5:12], test.x[12:13]]
+        outs = pipeline.run_many(windows)
+        assert len(outs) == len(windows)
+        for w, out in zip(windows, outs):
+            np.testing.assert_array_equal(out, pipeline.run(w))
+
+    def test_run_many_through_compiled_graph_module(self, trained_mlp, blobs):
+        _, test = blobs
+        artifact = Compiler().compile(from_sequential(trained_mlp), get_profile("phone-mid"), bits=8)
+        pipeline = Pipeline([graph_module(artifact.graph), argmax_module()], name="compiled-clf")
+        windows = [test.x[:7], test.x[7:10]]
+        outs = pipeline.run_many(windows)
+        for w, out in zip(windows, outs):
+            np.testing.assert_array_equal(out, pipeline.run(w))
+
+    def test_run_many_all_empty_windows(self, trained_mlp):
+        pipeline = Pipeline([model_module(trained_mlp)], name="clf")
+        outs = pipeline.run_many([np.empty((0, 12)), np.empty((0, 12))])
+        assert all(o.shape == (0, 4) for o in outs)
+
+    def test_broadcast_runs_hosting_devices_in_one_sweep(self, trained_mlp, blobs):
+        _, test = blobs
+        fleet = Fleet.random(8, seed=9)
+        orchestrator = Orchestrator(fleet)
+        pipeline = Pipeline([model_module(trained_mlp), argmax_module()], name="wake")
+        orchestrator.place_everywhere(pipeline)
+        device_ids = [d.device_id for d in fleet]
+        inputs = {d: test.x[i * 3 : i * 3 + 3] for i, d in enumerate(device_ids)}
+        outputs = orchestrator.broadcast(pipeline, inputs)
+        assert set(outputs) == set(device_ids)
+        for d in device_ids:
+            np.testing.assert_array_equal(outputs[d], pipeline.run(inputs[d]))
+
+    def test_broadcast_skips_devices_without_capabilities_or_input(self, trained_mlp, blobs):
+        _, test = blobs
+        fleet = Fleet.random(4, seed=11)
+        orchestrator = Orchestrator(fleet)
+        needs_net = Module("uplink", fn=lambda x: x, requires=frozenset({Capability.NETWORK}))
+        pipeline = Pipeline([model_module(trained_mlp), needs_net], name="uplink-clf")
+        orchestrator.place_everywhere(pipeline)
+        ids = [d.device_id for d in fleet]
+        granted, denied, no_input = ids[0], ids[1], ids[2]
+        orchestrator.grant_capabilities(granted, (Capability.COMPUTE, Capability.NETWORK))
+        orchestrator.grant_capabilities(denied, (Capability.COMPUTE,))
+        inputs = {d: test.x[:2] for d in ids if d != no_input}
+        outputs = orchestrator.broadcast(pipeline, inputs)
+        assert granted in outputs and ids[3] in outputs  # no sandbox: unrestricted
+        assert denied not in outputs and no_input not in outputs
+
+    def test_run_many_falls_back_for_data_dependent_quantization(self, trained_mlp, blobs):
+        """Stacking must never let one window's data change another's logits."""
+        from repro.exchange import PassPipeline, annotate_quantization, from_sequential
+
+        _, test = blobs
+        graph = annotate_quantization(
+            PassPipeline.standard_inference().run(from_sequential(trained_mlp)),
+            bits=8,
+            activation_bits=8,
+        )
+        pipeline = Pipeline([graph_module(graph)], name="actquant")
+        assert not pipeline.stackable()
+        windows = [test.x[:4], 50.0 * test.x[4:8]]  # second window would skew shared stats
+        outs = pipeline.run_many(windows)
+        for w, out in zip(windows, outs):
+            np.testing.assert_array_equal(out, pipeline.run(w))
+
+    def test_broadcast_preserves_sandbox_audit_log(self, trained_mlp, blobs):
+        _, test = blobs
+        fleet = Fleet.random(2, seed=13)
+        orchestrator = Orchestrator(fleet)
+        pipeline = Pipeline([model_module(trained_mlp), argmax_module()], name="audited")
+        orchestrator.place_everywhere(pipeline)
+        ids = [d.device_id for d in fleet]
+        sandbox = orchestrator.grant_capabilities(ids[0], (Capability.COMPUTE,))
+        outputs = orchestrator.broadcast(pipeline, {d: test.x[:3] for d in ids})
+        assert set(outputs) == set(ids)
+        assert [e["module"] for e in sandbox.execution_log] == ["fixture_mlp", "argmax"]
+        assert all(e["n"] == 3 for e in sandbox.execution_log)
+
+    def test_run_many_cascade_falls_back_to_per_window(self, trained_mlp, blobs):
+        """Cascade predicates may be batch-dependent (e.g. median-based), so
+        cascades are non-stackable by default and run window by window."""
+        train, test = blobs
+        small = make_mlp(12, 4, hidden=(4,), seed=51)
+        small.fit(train.x, train.y, epochs=1, lr=0.02)
+        cascade = Pipeline(
+            [
+                ConditionalStage(
+                    "escalate",
+                    predicate=lambda x: np.linalg.norm(x, axis=1) < np.median(np.linalg.norm(x, axis=1)),
+                    if_true=Pipeline([model_module(small)], name="cheap"),
+                    if_false=Pipeline([model_module(trained_mlp)], name="accurate"),
+                ),
+            ],
+            name="cascade",
+        )
+        assert not cascade.stackable()
+        windows = [test.x[:6], np.empty((0, 12)), test.x[6:16]]
+        outs = cascade.run_many(windows)
+        assert outs[1].shape == (0, 4)
+        np.testing.assert_array_equal(outs[0], cascade.run(windows[0]))
+        np.testing.assert_array_equal(outs[2], cascade.run(windows[2]))
+
+    def test_broadcast_mixed_sandboxed_and_free_devices(self, trained_mlp, blobs):
+        _, test = blobs
+        fleet = Fleet.random(3, seed=17)
+        orchestrator = Orchestrator(fleet)
+        pipeline = Pipeline([model_module(trained_mlp)], name="mixed")
+        orchestrator.place_everywhere(pipeline)
+        ids = [d.device_id for d in fleet]
+        sandbox = orchestrator.grant_capabilities(ids[1], (Capability.COMPUTE,))
+        inputs = {d: test.x[i * 2 : i * 2 + 2] for i, d in enumerate(ids)}
+        outputs = orchestrator.broadcast(pipeline, inputs)
+        assert set(outputs) == set(ids)
+        for d in ids:
+            np.testing.assert_array_equal(outputs[d], pipeline.run(inputs[d]))
+        # the sandboxed device's execution went through its own Sandbox
+        assert [e["module"] for e in sandbox.execution_log] == ["fixture_mlp"]

@@ -149,3 +149,38 @@ class TestSimulatedEnclave:
     def test_invalid_slowdown(self):
         with pytest.raises(ValueError):
             SimulatedEnclave(slowdown=0.5)
+
+
+class TestVerifyCompiledRun:
+    def _plan(self):
+        from repro.exchange import CompiledExecutor, PassPipeline, from_sequential
+        from repro.nn import make_tiny_cnn
+
+        model = make_tiny_cnn((10, 10, 1), 4, filters=(4,), dense_width=8, seed=3)
+        graph = PassPipeline.standard_inference().run(from_sequential(model))
+        return CompiledExecutor(graph), model
+
+    def test_honest_run_verifies_all_gemms(self, rng):
+        from repro.verification import verify_compiled_run
+
+        plan, model = self._plan()
+        x = rng.normal(size=(6, 10, 10, 1))
+        report = verify_compiled_run(plan, x, n_trials=10, seed=0)
+        assert report["valid"]
+        assert report["checked_gemms"] == plan.n_gemm_steps == 3  # conv-as-im2col + 2 dense
+        assert report["failed_gemms"] == []
+        assert 0 < report["soundness_error"] <= 3 * 0.5**10
+        np.testing.assert_allclose(report["output"], model.forward(x), atol=1e-9, rtol=1e-9)
+
+    def test_tampered_gemm_is_rejected(self, rng):
+        from repro.verification import FreivaldsVerifier
+
+        plan, _ = self._plan()
+        _, gemms = plan.run(rng.normal(size=(4, 10, 10, 1)), record_gemms=True)
+        verifier = FreivaldsVerifier(n_trials=10, seed=1)
+        a, b, c = gemms[0]
+        forged = c.copy()
+        forged[0, 0] += 1.0  # adversarial single-entry modification
+        assert verifier.verify(a, b, c)
+        assert not verifier.verify(a, b, forged)
+        assert verifier.failures == 1
