@@ -4,15 +4,29 @@ Expected shape: drift detectors fire within a few windows of a covariate
 shift with a low false-positive rate before it, and the telemetry payload a
 device uploads is constant-size (sketches), orders of magnitude smaller than
 shipping the raw window data to the cloud.
+
+Perf guardrail: ``test_e4_batched_monitoring_speedup`` pits the one-sweep
+fleet monitoring plane (vectorized column detectors + FleetMonitor) against
+the seed-era per-device / per-column path on a 100-device fleet and must
+stay >= 10x with identical drift decisions and byte-equal telemetry.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.data import DriftingStream, DriftSpec, make_gaussian_blobs
-from repro.observability import EdgeMonitor, KSDetector, MMDDetector, PSIDetector, TelemetryRecorder
+from repro.observability import (
+    EdgeMonitor,
+    FleetMonitor,
+    KSDetector,
+    MMDDetector,
+    PSIDetector,
+    TelemetryRecorder,
+)
 
 
 @pytest.fixture(scope="module")
@@ -77,3 +91,116 @@ def test_e4_edge_monitor_throughput(benchmark, drift_setup):
 
     benchmark(observe)
     benchmark.extra_info["windows_per_call"] = 10
+
+
+def _monitor_fleet(reference, ref_preds, n_devices, batched):
+    return {
+        f"dev-{i}": EdgeMonitor(
+            f"dev-{i}",
+            reference,
+            reference_predictions=ref_preds,
+            num_classes=4,
+            detectors=("ks", "psi"),
+            batched=batched,
+        )
+        for i in range(n_devices)
+    }
+
+
+def _fleet_traffic(n_devices, n_windows, window, n_features, seed=0):
+    """Per-window fleet traffic with a covariate shift on half the devices."""
+    rng = np.random.default_rng(seed)
+    traffic = []
+    for w in range(n_windows):
+        windows, preds, lats = {}, {}, {}
+        for i in range(n_devices):
+            shift = 2.0 if (w >= n_windows // 2 and i % 2 == 0) else 0.0
+            windows[f"dev-{i}"] = rng.normal(loc=shift, size=(window, n_features))
+            preds[f"dev-{i}"] = rng.integers(0, 4, window)
+            lats[f"dev-{i}"] = rng.uniform(0.001, 0.01, window)
+        traffic.append((windows, preds, lats))
+    return traffic
+
+
+def test_e4_batched_monitoring_speedup(benchmark, smoke_mode):
+    """One-sweep fleet monitoring vs per-device/per-column (>=10x guardrail).
+
+    Two identical 100-device fleets observe the same traffic: one through
+    FleetMonitor's stacked vectorized sweep, one through the seed-era loop —
+    per device, per window, one scipy ks_2samp + two np.histogram calls per
+    feature column.  Drift decisions and statistics must agree (allclose;
+    they are bit-identical in practice) and telemetry payloads must be
+    byte-equal, while the sweep is at least an order of magnitude faster.
+    """
+    n_devices = 100
+    n_windows = 2 if smoke_mode else 4
+    window = 32 if smoke_mode else 64
+    n_features = 10
+    rng = np.random.default_rng(3)
+    reference = rng.normal(size=(256 if smoke_mode else 512, n_features))
+    ref_preds = rng.integers(0, 4, len(reference))
+    traffic = _fleet_traffic(n_devices, n_windows, window, n_features)
+
+    def scenario():
+        # Warm both paths so one-time costs (reference sorting, imports)
+        # don't skew the ratio.
+        warm_traffic = _fleet_traffic(4, 1, 8, n_features, seed=9)
+        for batched in (True, False):
+            warm = _monitor_fleet(reference, ref_preds, 4, batched)
+            if batched:
+                FleetMonitor(warm).observe_fleet(*warm_traffic[0][:1], predictions=warm_traffic[0][1])
+            else:
+                for d, x in warm_traffic[0][0].items():
+                    warm[d].observe_window(x, predictions=warm_traffic[0][1][d])
+
+        fleet_side = _monitor_fleet(reference, ref_preds, n_devices, batched=True)
+        legacy_side = _monitor_fleet(reference, ref_preds, n_devices, batched=False)
+        fm = FleetMonitor(fleet_side)
+        t0 = time.perf_counter()
+        for windows, preds, lats in traffic:
+            fm.observe_fleet(windows, predictions=preds, latencies=lats)
+        t_batched = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for windows, preds, lats in traffic:
+            for device_id, x in windows.items():
+                legacy_side[device_id].observe_window(
+                    x, predictions=preds[device_id], latencies=lats[device_id]
+                )
+        t_legacy = time.perf_counter() - t0
+
+        identical_decisions = True
+        stats_close = True
+        telemetry_equal = True
+        n_drifted = 0
+        for device_id in fleet_side:
+            a, b = fleet_side[device_id], legacy_side[device_id]
+            identical_decisions &= a.drift_events == b.drift_events
+            n_drifted += bool(a.any_drift())
+            for name in a.detectors:
+                ha = a.detectors[name].history
+                hb = b.detectors[name].history
+                identical_decisions &= [r.drifted for r in ha] == [r.drifted for r in hb]
+                stats_close &= bool(
+                    np.allclose([r.statistic for r in ha], [r.statistic for r in hb], atol=1e-12)
+                )
+            telemetry_equal &= a.build_report().as_dict() == b.build_report().as_dict()
+        return {
+            "n_devices": n_devices,
+            "n_windows": n_windows,
+            "window": window,
+            "batched_s": t_batched,
+            "legacy_s": t_legacy,
+            "speedup": t_legacy / max(t_batched, 1e-12),
+            "devices_with_drift": n_drifted,
+            "identical_decisions": identical_decisions,
+            "stats_close": stats_close,
+            "telemetry_equal": telemetry_equal,
+        }
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["identical_decisions"], "fleet sweep changed a drift decision"
+    assert result["stats_close"], "fleet sweep statistics diverged from the oracle"
+    assert result["telemetry_equal"], "fleet sweep telemetry payload differs"
+    assert result["devices_with_drift"] >= n_devices // 2  # the injected shift is seen
+    assert result["speedup"] >= 10.0, f"fleet sweep only {result['speedup']:.1f}x faster"

@@ -46,11 +46,15 @@ def main() -> None:
     )
     print(f"\ndeployed to {deploy['deployed']}/{len(fleet)} devices; variant mix: {deploy['per_variant']}")
 
-    # 5. Serve production traffic on every device, then sync the online ones.
+    # 5. Serve production traffic: one fleet-wide window — predictions run in
+    # a single compiled-plan sweep and drift checks in one FleetMonitor
+    # sweep — then sync the online devices.
     rng = np.random.default_rng(1)
-    for device in fleet:
-        idx = rng.integers(0, len(test.x), size=40)
-        platform.serve(device.device_id, "sensor-classifier", test.x[idx])
+    window = {
+        device.device_id: test.x[rng.integers(0, len(test.x), size=40)] for device in fleet
+    }
+    report = platform.serve_fleet("sensor-classifier", window)
+    print(f"served {report.served}/{report.requested} fleet queries in one sweep")
     synced = sum(1 for device in fleet if platform.sync_device(device.device_id).get("synced"))
     print(f"synced telemetry + usage ledgers from {synced} online devices")
 

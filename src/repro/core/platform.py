@@ -235,7 +235,10 @@ class TinyMLOpsPlatform:
 
         ``traffic`` is a ``{device_id: inputs}`` mapping or an iterable of
         such windows (see :mod:`repro.core.traffic` for scenario
-        generators).
+        generators).  Each window is served as one fleet sweep: per-device
+        quota/battery admission, then a single compiled-plan prediction
+        sweep and a single :class:`~repro.observability.FleetMonitor` drift
+        sweep over every monitored device's served slice.
         """
         return self.serving.serve_fleet(model_name, traffic)
 

@@ -28,19 +28,26 @@ the floating-point caveat on :meth:`~repro.devices.Battery.draw_batch`.)
 
 :meth:`ServingEngine.serve_fleet` drives an entire fleet through one or
 more traffic windows (see :mod:`repro.core.traffic` for scenario
-generators) and returns a fleet-level report.
+generators) and returns a fleet-level report.  By default it runs the
+**fleet sweep**: per-device admission stays O(1) per device, but all
+admitted windows of a (model, window) pair execute through *one*
+compiled-plan :meth:`~repro.exchange.CompiledExecutor.run_many` call and
+all served slices feed *one*
+:meth:`~repro.observability.FleetMonitor.observe_fleet` drift sweep —
+instead of one ``plan.run`` + ``observe_window`` pair per device.
+``batched=False`` keeps the per-device loop as the reference oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, MutableMapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, MutableMapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.billing import QuotaExceededError, UsageLedger
 from repro.devices import CostModel, Fleet
-from repro.observability import EdgeMonitor
+from repro.observability import EdgeMonitor, FleetMonitor
 
 __all__ = ["ServeResult", "FleetServeReport", "ServingEngine"]
 
@@ -136,6 +143,9 @@ class ServingEngine:
         # model path untouched.
         self.plans: MutableMapping[str, object] = plans if plans is not None else {}
         self._plan_options: Dict[str, tuple] = {}
+        # Fleet-monitor cache for serve_fleet: rebuilt whenever the set of
+        # monitor objects changes (e.g. a re-deploy replaced a monitor).
+        self._fleet_monitor_cache: Optional[Tuple[tuple, FleetMonitor]] = None
 
     # ------------------------------------------------------------------
     def compile_model(self, model_name: str, pipeline=None, apply_quantization: Optional[bool] = None):
@@ -262,10 +272,82 @@ class ServingEngine:
         )
 
     # ------------------------------------------------------------------
+    def _fleet_monitor(self) -> FleetMonitor:
+        """The cached fleet-level monitor over the current per-device monitors."""
+        key = tuple(sorted((device_id, id(monitor)) for device_id, monitor in self.monitors.items()))
+        if self._fleet_monitor_cache is None or self._fleet_monitor_cache[0] != key:
+            self._fleet_monitor_cache = (key, FleetMonitor(self.monitors))
+        return self._fleet_monitor_cache[1]
+
+    def _serve_fleet_window(
+        self, model_name: str, window: Mapping[str, np.ndarray], report: FleetServeReport, bits: int
+    ) -> None:
+        """Serve one fleet-wide window with one prediction + one drift sweep.
+
+        Admission (quota then battery) is the same two-stage prefix filter
+        :meth:`serve_batch` applies, run per device in window order so
+        ledger and battery state match the per-device loop exactly.  The
+        served slices of every monitored device then flow through one
+        compiled-plan ``run_many`` sweep (the plan falls back to per-window
+        execution internally when its kernels are not stacking-exact) and
+        one :meth:`FleetMonitor.observe_fleet` drift sweep.  Without a
+        compiled plan predictions stay per-device, preserving the oracle's
+        per-window ``nn`` forwards.
+        """
+        model = self.models[model_name]
+        plan = self.plans.get(model_name)
+        # (device_id, window, requested, cost, granted, served) per device.
+        admitted: List[tuple] = []
+        for device_id, x in window.items():
+            x = np.asarray(x)
+            if x.shape[0] == 0:
+                continue
+            device = self.fleet.get(device_id)
+            ledger = self.ledgers.get(device_id)
+            n = int(x.shape[0])
+            cost = self.cost_model.model_inference_cost(device.profile, model, bits=bits)
+            granted = ledger.record_batch(model_name, n) if ledger is not None else n
+            served = device.execute_batch(cost, granted, record=False)
+            admitted.append((device_id, x, n, cost, granted, served))
+        # One prediction sweep over every monitored device's served slice.
+        monitored = [
+            (device_id, x[:served], cost, served)
+            for device_id, x, n, cost, granted, served in admitted
+            if served and self.monitors.get(device_id) is not None
+        ]
+        if monitored:
+            slices = [s for _, s, _, _ in monitored]
+            if plan is not None:
+                outputs = plan.run_many(slices)
+                preds = [out.argmax(axis=-1) for out in outputs]
+            else:
+                preds = [self.models[model_name].predict_classes(s) for s in slices]
+            self._fleet_monitor().observe_fleet(
+                {device_id: s for device_id, s, _, _ in monitored},
+                predictions={device_id: p for (device_id, _, _, _), p in zip(monitored, preds)},
+                latencies={device_id: np.full(served, cost.latency_s) for device_id, _, cost, served in monitored},
+                energies={device_id: np.full(served, cost.energy_j) for device_id, _, cost, served in monitored},
+                memories={device_id: np.full(served, cost.peak_memory_bytes) for device_id, _, cost, served in monitored},
+            )
+        for device_id, x, n, cost, granted, served in admitted:
+            monitor = self.monitors.get(device_id)
+            report.add(
+                ServeResult(
+                    device_id=device_id,
+                    model_name=model_name,
+                    requested=n,
+                    served=served,
+                    denied_quota=n - granted,
+                    battery_failures=granted - served,
+                    drift_detected=bool(monitor.any_drift()) if monitor is not None else False,
+                )
+            )
+
     def serve_fleet(
         self,
         model_name: str,
         traffic: Union[Mapping[str, np.ndarray], Iterable[Mapping[str, np.ndarray]]],
+        batched: bool = True,
     ) -> FleetServeReport:
         """Drive the whole fleet through one window — or a scenario of windows.
 
@@ -273,6 +355,13 @@ class ServingEngine:
         device's query inputs) or an iterable of such windows, e.g. the
         output of a :mod:`repro.core.traffic` generator.  Devices mapped to
         empty arrays are skipped.
+
+        With ``batched`` (the default) each window is served by
+        :meth:`_serve_fleet_window` — one compiled-plan sweep and one fleet
+        drift sweep per (model, window).  ``batched=False`` keeps the
+        per-device :meth:`serve_batch` loop as the reference oracle; both
+        paths produce identical reports, ledger/battery state and monitor
+        histories.
         """
         windows: Iterable[Mapping[str, np.ndarray]]
         if isinstance(traffic, Mapping):
@@ -282,9 +371,12 @@ class ServingEngine:
         report = FleetServeReport(model_name=model_name)
         for window in windows:
             report.n_windows += 1
-            for device_id, x in window.items():
-                if x.shape[0] == 0:
-                    continue
-                report.add(self.serve_batch(device_id, model_name, x))
+            if batched:
+                self._serve_fleet_window(model_name, window, report, bits=32)
+            else:
+                for device_id, x in window.items():
+                    if x.shape[0] == 0:
+                        continue
+                    report.add(self.serve_batch(device_id, model_name, x))
         report.devices_with_drift = sum(1 for m in self.monitors.values() if m.any_drift())
         return report

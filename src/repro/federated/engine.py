@@ -100,6 +100,14 @@ class RoundScenario:
       simulated local-training latency is ``n_samples * local_epochs *
       time_per_sample_s`` with log-normal jitter; clients over the deadline
       finish training (and pay the energy) but their update is discarded.
+    * ``hardware_latency`` — derive each client's per-sample time from its
+      *device profile* instead of the fleet-wide ``time_per_sample_s``
+      constant: one training step costs the device's per-inference latency
+      (``peak_flops``, memory bandwidth and bit-width aware, via the cost
+      model) times the cost model's forward+backward ``training_factor``.
+      An MCU then genuinely straggles behind a flagship phone under the
+      same deadline.  Clients without a mapped fleet device keep the
+      ``time_per_sample_s`` fallback.
     * ``byzantine_ids`` — clients that inject corrupted deltas:
       ``"scale"`` multiplies the honest delta by ``byzantine_scale``,
       ``"flip"`` additionally reverses its sign.  Pair with
@@ -110,6 +118,7 @@ class RoundScenario:
     dropout_rate: float = 0.0
     straggler_timeout_s: Optional[float] = None
     time_per_sample_s: float = 1e-3
+    hardware_latency: bool = False
     latency_jitter: float = 0.5
     byzantine_ids: frozenset = field(default_factory=frozenset)
     byzantine_mode: str = "scale"
@@ -446,6 +455,8 @@ class FederatedEngine:
         self.history: List[RoundResult] = []
         self._model_bytes = self.global_model.get_flat_weights().size * 4
         self._cost_model = None
+        # hardware_latency per-sample times, keyed by device profile name.
+        self._per_sample_time_cache: Dict[str, float] = {}
 
     # -- fleet integration ----------------------------------------------
     def _device_for(self, client_id: str):
@@ -468,10 +479,7 @@ class FederatedEngine:
         """Charge each training device for its local epochs (fwd + bwd)."""
         if self.fleet is None or not client_ids:
             return
-        if self._cost_model is None:
-            from repro.devices.cost import CostModel
-
-            self._cost_model = CostModel()
+        self._ensure_cost_model()
         for cid in client_ids:
             device = self._device_for(cid)
             if device is None:
@@ -479,6 +487,39 @@ class FederatedEngine:
             client = self.clients[cid]
             cost = self._cost_model.model_inference_cost(device.profile, self.global_model)
             device.battery.draw(cost.energy_j * self.train_energy_factor * client.local_epochs * client.n_samples)
+
+    def _ensure_cost_model(self):
+        if self._cost_model is None:
+            from repro.devices.cost import CostModel
+
+            self._cost_model = CostModel()
+        return self._cost_model
+
+    def _time_per_sample_s(self, client_id: str) -> float:
+        """One training step's simulated wall time for a client.
+
+        With ``scenario.hardware_latency`` and a mapped fleet device this is
+        the device-profile inference latency (peak_flops / memory-bandwidth
+        aware) times the cost model's forward+backward training factor;
+        otherwise the scenario's fleet-wide ``time_per_sample_s`` constant.
+        Cached per profile name — the value depends only on (profile, model
+        architecture), and the architecture is fixed for an engine's life —
+        so a round costs O(#distinct profiles) cost-model walks, not
+        O(#clients).
+        """
+        sc = self.scenario
+        if sc is not None and sc.hardware_latency:
+            device = self._device_for(client_id)
+            if device is not None:
+                cached = self._per_sample_time_cache.get(device.profile.name)
+                if cached is not None:
+                    return cached
+                cost_model = self._ensure_cost_model()
+                forward = cost_model.model_inference_cost(device.profile, self.global_model)
+                per_sample = forward.latency_s * cost_model.training_factor
+                self._per_sample_time_cache[device.profile.name] = per_sample
+                return per_sample
+        return sc.time_per_sample_s if sc is not None else 0.0
 
     # -- scenario --------------------------------------------------------
     def _apply_scenario(
@@ -501,7 +542,7 @@ class FederatedEngine:
                 if cid not in surviving:
                     continue
                 client = self.clients[cid]
-                latency = client.n_samples * client.local_epochs * sc.time_per_sample_s * jit
+                latency = client.n_samples * client.local_epochs * self._time_per_sample_s(cid) * jit
                 (keep if latency <= sc.straggler_timeout_s else stragglers).append(cid)
             survivors = keep
         return survivors, stragglers, n_dropouts, len(stragglers)

@@ -15,6 +15,22 @@ a drift signal when the distance exceeds a threshold.  Detectors:
   for multivariate features.
 * :class:`PredictionDistributionMonitor` — drift in the model's *output*
   distribution (no labels needed).
+
+Two scoring paths produce the same statistics:
+
+* The **per-column oracle** (:meth:`StreamingDriftDetector._per_feature_max`)
+  runs one :func:`ks_statistic` / :func:`population_stability_index` /
+  :func:`jensen_shannon_divergence` call per feature column — one
+  ``scipy.stats.ks_2samp`` and two ``np.histogram`` calls per column.
+* The **batched path** (:func:`ks_statistic_columns`,
+  :func:`population_stability_index_columns`,
+  :func:`jensen_shannon_divergence_columns`) scores *all* columns — across
+  features, and across every device of a fleet sharing the reference — in a
+  handful of vectorized NumPy calls, with statistics bit-identical to the
+  oracle (the differential suite in ``tests/observability`` asserts exact
+  equality).  Detectors default to the batched path; construct them with
+  ``batched=False`` to keep the oracle in the hot loop (benchmarks use this
+  as the baseline).
 """
 
 from __future__ import annotations
@@ -30,6 +46,11 @@ __all__ = [
     "population_stability_index",
     "jensen_shannon_divergence",
     "mmd_rbf",
+    "ks_statistic_columns",
+    "fused_histogram_counts",
+    "population_stability_index_columns",
+    "jensen_shannon_divergence_columns",
+    "prediction_js_columns",
     "DriftResult",
     "StreamingDriftDetector",
     "KSDetector",
@@ -127,6 +148,183 @@ def mmd_rbf(reference: np.ndarray, live: np.ndarray, gamma: Optional[float] = No
 
 
 # ---------------------------------------------------------------------------
+# vectorized multi-column scoring (the fleet observability hot path)
+# ---------------------------------------------------------------------------
+
+def ks_statistic_columns(reference_sorted: np.ndarray, live: np.ndarray) -> np.ndarray:
+    """Two-sample KS statistics for every column in one vectorized pass.
+
+    ``reference_sorted`` is the column-sorted reference ``(n_ref, d)``;
+    ``live`` is ``(n_live, C)`` where ``C`` is a multiple of ``d`` — column
+    ``c`` of ``live`` is scored against reference column ``c % d``, so a
+    fleet of ``g`` devices sharing one reference stacks its windows
+    side-by-side into ``C = g * d`` columns and pays the reference-lookup
+    cost once per *feature*, not once per (device, feature).
+
+    Bit-identical to ``scipy.stats.ks_2samp(ref, live).statistic`` per
+    column: both evaluate ``|ECDF_ref - ECDF_live|`` at every sample with
+    the same integer rank counts and the same float divisions.  Instead of
+    sorting the merged sample per column (what scipy does), the live window
+    is sorted once for all columns and the reference ranks come from two
+    ``searchsorted`` lookups per feature against the *pre-sorted* reference.
+    The max gap over the merged sample is recovered from the live points
+    alone: between consecutive live values the live ECDF is constant, so the
+    gap is extremal either **at** a live point (right-continuous ranks) or
+    **just below** one (left ranks) — and the gap at the global maximum is
+    always exactly 0, which the ``maximum(..., 0)`` / ``minimum(..., 0)``
+    terms account for.
+    """
+    ref = np.asarray(reference_sorted, dtype=np.float64)
+    liv = np.asarray(live, dtype=np.float64)
+    n1, d = ref.shape
+    m, C = liv.shape
+    if C % d != 0:
+        raise ValueError(f"live columns ({C}) must be a multiple of reference columns ({d})")
+    if m == 0:
+        return np.zeros(C)
+    g = C // d
+    L = np.sort(liv, axis=0)
+    # Tie-aware ranks of each sorted live value within its own column:
+    # rank_left = # live < x (tie-group start), rank_right = # live <= x.
+    idx = np.arange(m)[:, None]
+    new_grp = np.empty((m, C), dtype=bool)
+    new_grp[0] = True
+    end_grp = np.empty((m, C), dtype=bool)
+    end_grp[-1] = True
+    if m > 1:
+        np.not_equal(L[1:], L[:-1], out=new_grp[1:])
+        end_grp[:-1] = new_grp[1:]
+    rank_left = np.where(new_grp, idx, 0)
+    np.maximum.accumulate(rank_left, axis=0, out=rank_left)
+    rank_right = np.where(end_grp, idx + 1, m)
+    rank_right = np.flip(np.minimum.accumulate(np.flip(rank_right, axis=0), axis=0), axis=0)
+    # Reference ranks of every live value: two searchsorted calls per
+    # feature column, shared across all devices stacked on that feature.
+    cnt_left = np.empty((m, C), dtype=np.int64)
+    cnt_right = np.empty((m, C), dtype=np.int64)
+    for c in range(d):
+        cols = slice(c, C, d)
+        q = L[:, cols].ravel()
+        cnt_left[:, cols] = np.searchsorted(ref[:, c], q, side="left").reshape(m, g)
+        cnt_right[:, cols] = np.searchsorted(ref[:, c], q, side="right").reshape(m, g)
+    at = cnt_right / n1 - rank_right / m  # ECDF gap at each live point
+    sup = cnt_left / n1 - rank_left / m  # ECDF gap just below each live point
+    max_s = np.maximum(np.maximum(at.max(axis=0), sup.max(axis=0)), 0.0)
+    min_c = np.minimum(np.minimum(at.min(axis=0), sup.min(axis=0)), 0.0)
+    min_s = np.clip(-min_c, 0.0, 1.0)
+    return np.maximum(min_s, max_s)
+
+
+def fused_histogram_counts(
+    reference_sorted: np.ndarray, live: np.ndarray, bins: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-column :func:`_histogram_pair` counts for all columns in one pass.
+
+    Returns ``(p, q)`` of shape ``(C, bins)`` with the reference and live
+    histogram counts over each column's shared-range bins, bit-identical to
+    calling ``np.histogram`` twice per column.  As in
+    :func:`ks_statistic_columns`, live column ``c`` histograms against
+    reference column ``c % d``.
+
+    The live side bins every value with one broadcast comparison against
+    the bin edges plus a single offset ``bincount`` over all columns; the
+    reference side reuses the pre-sorted reference through two
+    ``searchsorted`` calls per feature (exactly the formula ``np.histogram``
+    applies internally).  Columns whose bin width underflows to zero (a
+    constant column at huge magnitude) fall back to the per-column oracle
+    to preserve ``np.linspace``'s degenerate-edge behavior.
+    """
+    ref = np.asarray(reference_sorted, dtype=np.float64)
+    liv = np.asarray(live, dtype=np.float64)
+    n1, d = ref.shape
+    m, C = liv.shape
+    if C % d != 0:
+        raise ValueError(f"live columns ({C}) must be a multiple of reference columns ({d})")
+    if m == 0:
+        raise ValueError("live window must be non-empty")
+    g = C // d
+    ref_lo = np.tile(ref[0], g)
+    ref_hi = np.tile(ref[-1], g)
+    lo = np.minimum(ref_lo, liv.min(axis=0))
+    hi = np.maximum(ref_hi, liv.max(axis=0))
+    hi = np.where(hi <= lo, lo + 1e-9, hi)
+    step = (hi - lo) / bins
+    good = (step > 0) & np.isfinite(step)
+    # Edges exactly as np.linspace(lo, hi, bins + 1) builds them.  NaN/inf
+    # ranges (degenerate columns, replaced by the per-column fallback below)
+    # may produce invalid-value warnings here — silence them; `good` already
+    # excludes those columns.
+    with np.errstate(invalid="ignore"):
+        edges = np.arange(bins + 1, dtype=np.float64)[:, None] * step[None, :]
+        edges += lo
+    edges[-1] = hi
+    # Live counts: bin index = (# edges <= x) - 1, last bin right-inclusive.
+    q_counts = np.empty((C, bins), dtype=np.int64)
+    # Block the (rows, bins + 1, cols) broadcast to bound peak memory.
+    block = max(1, int(2 ** 22 // max(m * (bins + 1), 1)))
+    for start in range(0, C, block):
+        stop = min(start + block, C)
+        idxs = (liv[:, None, start:stop] >= edges[None, :, start:stop]).sum(axis=1, dtype=np.int64) - 1
+        np.minimum(idxs, bins - 1, out=idxs)
+        # NaN live values compare False against every edge (idx -1): clamp
+        # into the column's own range so a degenerate column cannot corrupt
+        # its neighbours' counts — its own counts are replaced by the
+        # per-column fallback below (NaN/inf ranges fail the `good` check).
+        np.maximum(idxs, 0, out=idxs)
+        idxs += np.arange(stop - start) * bins
+        q_counts[start:stop] = np.bincount(
+            idxs.ravel(), minlength=(stop - start) * bins
+        ).reshape(-1, bins)
+    # Reference counts: np.histogram's own searchsorted formula, against the
+    # pre-sorted reference — one (left, right) lookup pair per feature.
+    p_counts = np.empty((C, bins), dtype=np.int64)
+    for c in range(d):
+        cols = np.arange(c, C, d)
+        e = edges[:, cols]
+        cum = np.searchsorted(ref[:, c], e.T.ravel(), side="left").reshape(len(cols), bins + 1)
+        cum[:, -1] = np.searchsorted(ref[:, c], e[-1, :], side="right")
+        p_counts[cols] = np.diff(cum, axis=1)
+    with np.errstate(invalid="ignore"):
+        for col in np.nonzero(~good)[0]:
+            p, q = _histogram_pair(ref[:, col % d], liv[:, col], bins)
+            p_counts[col] = p
+            q_counts[col] = q
+    return p_counts.astype(np.float64), q_counts.astype(np.float64)
+
+
+def population_stability_index_columns(
+    reference_sorted: np.ndarray, live: np.ndarray, bins: int = 10, eps: float = 1e-4
+) -> np.ndarray:
+    """Per-column PSI for all columns at once (see :func:`fused_histogram_counts`)."""
+    p, q = fused_histogram_counts(reference_sorted, live, bins)
+    # Degenerate columns carry the oracle's NaN counts through to a NaN
+    # statistic; good columns are clipped to eps > 0, so "invalid" can only
+    # arise from those NaN columns — suppress the noise.
+    with np.errstate(invalid="ignore"):
+        p = np.clip(p / np.maximum(p.sum(axis=1), 1.0)[:, None], eps, None)
+        q = np.clip(q / np.maximum(q.sum(axis=1), 1.0)[:, None], eps, None)
+        p /= p.sum(axis=1, keepdims=True)
+        q /= q.sum(axis=1, keepdims=True)
+        return np.sum((q - p) * np.log(q / p), axis=1)
+
+
+def jensen_shannon_divergence_columns(
+    reference_sorted: np.ndarray, live: np.ndarray, bins: int = 32, eps: float = 1e-12
+) -> np.ndarray:
+    """Per-column JS divergence for all columns at once."""
+    p, q = fused_histogram_counts(reference_sorted, live, bins)
+    # See population_stability_index_columns: NaN only flows from columns
+    # the oracle itself scores as NaN.
+    with np.errstate(invalid="ignore"):
+        p = p / np.maximum(p.sum(axis=1), 1.0)[:, None] + eps
+        q = q / np.maximum(q.sum(axis=1), 1.0)[:, None] + eps
+        p /= p.sum(axis=1, keepdims=True)
+        q /= q.sum(axis=1, keepdims=True)
+        m = 0.5 * (p + q)
+        return 0.5 * np.sum(p * np.log2(p / m), axis=1) + 0.5 * np.sum(q * np.log2(q / m), axis=1)
+
+
+# ---------------------------------------------------------------------------
 # streaming detectors
 # ---------------------------------------------------------------------------
 
@@ -141,6 +339,19 @@ class DriftResult:
     detail: Dict[str, float] = field(default_factory=dict)
 
 
+def _record_result(history: List[DriftResult], statistic: float, threshold: float, detector: str) -> DriftResult:
+    """Build, append and return a threshold-compared :class:`DriftResult`."""
+    statistic = float(statistic)
+    result = DriftResult(
+        statistic=statistic,
+        threshold=threshold,
+        drifted=bool(statistic > threshold),
+        detector=detector,
+    )
+    history.append(result)
+    return result
+
+
 class StreamingDriftDetector:
     """Base class: holds a reference sample, scores live windows.
 
@@ -148,23 +359,62 @@ class StreamingDriftDetector:
     ``(n, d)`` feature matrix; the statistic is then computed per feature and
     the maximum over features is reported, so a shift concentrated in a single
     feature is not diluted by the others.
+
+    ``batched`` selects the scoring path: the vectorized all-columns-at-once
+    implementation (default) or the per-column oracle loop it is
+    bit-identical to.
     """
 
     name = "base"
 
-    def __init__(self, reference: np.ndarray, threshold: float) -> None:
+    def __init__(self, reference: np.ndarray, threshold: float, batched: bool = True) -> None:
         self.reference = np.asarray(reference, dtype=np.float64)
         if self.reference.size == 0:
             raise ValueError("reference sample must be non-empty")
         self.threshold = float(threshold)
+        self.batched = bool(batched)
         self.history: List[DriftResult] = []
+        self._ref_sorted: Optional[np.ndarray] = None
+        self._ref_ravel_sorted: Optional[np.ndarray] = None
+
+    # -- batched-path reference caches ----------------------------------
+    @property
+    def reference_sorted(self) -> np.ndarray:
+        """Column-sorted 2-D view of the reference, built once and cached."""
+        if self._ref_sorted is None:
+            ref = self.reference
+            cols = ref if ref.ndim == 2 else ref.reshape(-1, 1)
+            self._ref_sorted = np.sort(cols, axis=0)
+        return self._ref_sorted
+
+    @property
+    def _reference_ravel_sorted(self) -> np.ndarray:
+        """Sorted raveled reference for shape-mismatched live windows."""
+        if self._ref_ravel_sorted is None:
+            self._ref_ravel_sorted = np.sort(self.reference.ravel()).reshape(-1, 1)
+        return self._ref_ravel_sorted
+
+    def _live_columns(self, live: np.ndarray) -> Optional[np.ndarray]:
+        """The live window as columns matching the reference, or None.
+
+        Mirrors :meth:`_per_feature_max`'s shape rules: ``None`` means the
+        shapes don't line up column-wise and both sides ravel into a single
+        column instead.
+        """
+        ref = self.reference
+        if ref.ndim == 1 or live.ndim == 1:
+            return None
+        live2 = live if live.ndim == 2 else live.reshape(live.shape[0], -1)
+        if ref.shape[1] != live2.shape[1]:
+            return None
+        return live2
 
     def score(self, live: np.ndarray) -> float:
         """Distribution-distance statistic for a live window."""
         raise NotImplementedError
 
     def _per_feature_max(self, live: np.ndarray, fn) -> float:
-        """Max of ``fn(ref_col, live_col)`` over feature columns."""
+        """Max of ``fn(ref_col, live_col)`` over feature columns (the oracle)."""
         ref = self.reference
         live = np.asarray(live, dtype=np.float64)
         if ref.ndim == 1 or live.ndim == 1 or ref.shape[1] != live.reshape(live.shape[0], -1).shape[1]:
@@ -172,17 +422,27 @@ class StreamingDriftDetector:
         live2 = live.reshape(live.shape[0], -1)
         return float(max(fn(ref[:, j], live2[:, j]) for j in range(ref.shape[1])))
 
+    def _columns_max(self, live: np.ndarray, columns_fn) -> float:
+        """Max of the vectorized per-column statistics for a live window."""
+        live = np.asarray(live, dtype=np.float64)
+        live2 = self._live_columns(live)
+        if live2 is None:
+            stats_ = columns_fn(self._reference_ravel_sorted, live.reshape(-1, 1))
+        else:
+            stats_ = columns_fn(self.reference_sorted, live2)
+        return float(stats_.max())
+
+    def record(self, statistic: float) -> DriftResult:
+        """Append and return the result of an externally computed statistic.
+
+        Used by the fleet monitor, which scores many devices' windows in one
+        sweep and then records each device's statistic on its own detector.
+        """
+        return _record_result(self.history, statistic, self.threshold, self.name)
+
     def check(self, live: np.ndarray) -> DriftResult:
         """Score a window, record and return the result."""
-        statistic = self.score(np.asarray(live, dtype=np.float64))
-        result = DriftResult(
-            statistic=statistic,
-            threshold=self.threshold,
-            drifted=statistic > self.threshold,
-            detector=self.name,
-        )
-        self.history.append(result)
-        return result
+        return self.record(self.score(np.asarray(live, dtype=np.float64)))
 
     def detection_delay(self, drift_start_index: int) -> Optional[int]:
         """Windows between true drift onset and first detection (None = missed)."""
@@ -204,11 +464,15 @@ class KSDetector(StreamingDriftDetector):
 
     name = "ks"
 
-    def __init__(self, reference: np.ndarray, threshold: float = 0.25) -> None:
+    def __init__(self, reference: np.ndarray, threshold: float = 0.25, batched: bool = True) -> None:
         ref = np.asarray(reference, dtype=np.float64)
-        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, batched=batched)
+        if self.batched:
+            _ = self.reference_sorted  # sort the reference once, at construction
 
     def score(self, live: np.ndarray) -> float:
+        if self.batched:
+            return self._columns_max(live, ks_statistic_columns)
         return self._per_feature_max(live, lambda r, l: ks_statistic(r, l)[0])
 
 
@@ -217,12 +481,18 @@ class PSIDetector(StreamingDriftDetector):
 
     name = "psi"
 
-    def __init__(self, reference: np.ndarray, threshold: float = 1.0, bins: int = 10) -> None:
+    def __init__(self, reference: np.ndarray, threshold: float = 1.0, bins: int = 10, batched: bool = True) -> None:
         ref = np.asarray(reference, dtype=np.float64)
-        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, batched=batched)
         self.bins = int(bins)
+        if self.batched:
+            _ = self.reference_sorted
 
     def score(self, live: np.ndarray) -> float:
+        if self.batched:
+            return self._columns_max(
+                live, lambda r, l: population_stability_index_columns(r, l, bins=self.bins)
+            )
         return self._per_feature_max(
             live, lambda r, l: population_stability_index(r, l, bins=self.bins)
         )
@@ -233,24 +503,36 @@ class JSDetector(StreamingDriftDetector):
 
     name = "js"
 
-    def __init__(self, reference: np.ndarray, threshold: float = 0.25, bins: int = 32) -> None:
+    def __init__(self, reference: np.ndarray, threshold: float = 0.25, bins: int = 32, batched: bool = True) -> None:
         ref = np.asarray(reference, dtype=np.float64)
-        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, batched=batched)
         self.bins = int(bins)
+        if self.batched:
+            _ = self.reference_sorted
 
     def score(self, live: np.ndarray) -> float:
+        if self.batched:
+            return self._columns_max(
+                live, lambda r, l: jensen_shannon_divergence_columns(r, l, bins=self.bins)
+            )
         return self._per_feature_max(
             live, lambda r, l: jensen_shannon_divergence(r, l, bins=self.bins)
         )
 
 
 class MMDDetector(StreamingDriftDetector):
-    """Kernel-MMD detector on multivariate feature windows."""
+    """Kernel-MMD detector on multivariate feature windows.
+
+    The kernel statistic has no column decomposition, so the ``batched``
+    flag is accepted for interface uniformity but scoring is always the
+    direct multivariate computation; the fleet monitor runs MMD detectors
+    per-device.
+    """
 
     name = "mmd"
 
-    def __init__(self, reference: np.ndarray, threshold: float = 0.015, max_samples: int = 256, seed: int = 0) -> None:
-        super().__init__(np.asarray(reference), threshold)
+    def __init__(self, reference: np.ndarray, threshold: float = 0.015, max_samples: int = 256, seed: int = 0, batched: bool = True) -> None:
+        super().__init__(np.asarray(reference), threshold, batched=batched)
         self.max_samples = int(max_samples)
         self.seed = int(seed)
 
@@ -276,9 +558,21 @@ class PredictionDistributionMonitor:
         self.eps = float(eps)
         self.history: List[DriftResult] = []
 
+    def record(self, statistic: float) -> DriftResult:
+        """Append and return the result of an externally computed statistic."""
+        return _record_result(self.history, statistic, self.threshold, "prediction_js")
+
     def check(self, live_predictions: np.ndarray) -> DriftResult:
-        """Jensen–Shannon distance between reference and live class histograms."""
-        live = np.bincount(np.asarray(live_predictions, dtype=int), minlength=self.num_classes).astype(np.float64)
+        """Jensen–Shannon distance between reference and live class histograms.
+
+        An empty window carries no distributional evidence — comparing the
+        all-zeros histogram against the reference would spuriously flag
+        drift, so empty windows record a zero, non-drifted statistic.
+        """
+        preds = np.asarray(live_predictions, dtype=int)
+        if preds.size == 0:
+            return self.record(0.0)
+        live = np.bincount(preds, minlength=self.num_classes).astype(np.float64)
         live_dist = live / max(live.sum(), 1.0)
         p = self.reference_dist + self.eps
         q = live_dist + self.eps
@@ -286,11 +580,25 @@ class PredictionDistributionMonitor:
         q /= q.sum()
         m = 0.5 * (p + q)
         js = 0.5 * np.sum(p * np.log2(p / m)) + 0.5 * np.sum(q * np.log2(q / m))
-        result = DriftResult(
-            statistic=float(js),
-            threshold=self.threshold,
-            drifted=bool(js > self.threshold),
-            detector="prediction_js",
-        )
-        self.history.append(result)
-        return result
+        return self.record(js)
+
+
+def prediction_js_columns(reference_dist: np.ndarray, counts: np.ndarray, eps: float) -> np.ndarray:
+    """Vectorized :meth:`PredictionDistributionMonitor.check` statistics.
+
+    ``counts`` is the ``(g, num_classes)`` stack of live class histograms of
+    ``g`` devices sharing ``reference_dist``; rows with zero total (empty
+    windows) score 0.0, matching the empty-window guard in :meth:`check`.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    totals = counts.sum(axis=1)
+    live_dist = counts / np.maximum(totals, 1.0)[:, None]
+    p = reference_dist + eps
+    p = p / p.sum()
+    q = live_dist + eps
+    q /= q.sum(axis=1, keepdims=True)
+    m = 0.5 * (p[None, :] + q)
+    js = 0.5 * np.sum(p[None, :] * np.log2(p[None, :] / m), axis=1) + 0.5 * np.sum(
+        q * np.log2(q / m), axis=1
+    )
+    return np.where(totals > 0, js, 0.0)

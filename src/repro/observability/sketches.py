@@ -38,9 +38,18 @@ class RunningMoments:
         self._m2 = 0.0
 
     def update(self, values: Iterable[float] | np.ndarray) -> None:
-        """Add one value or an array of values."""
+        """Add one value or an array of values.
+
+        Multi-value inputs delegate to the O(1) batch merge instead of the
+        scalar Welford recurrence; single values keep the scalar update (the
+        two agree to float tolerance, and the batch path is what every bulk
+        caller hits).
+        """
         arr = np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel()
-        for x in arr:  # scalar loop is fine: batches are merged below in bulk
+        if arr.size > 1:
+            self.update_batch(arr)
+            return
+        for x in arr:
             self.count += 1
             delta = x - self.mean
             self.mean += delta / self.count
@@ -85,7 +94,14 @@ class RunningMoments:
 
 
 class ReservoirSample:
-    """Uniform random sample of a stream with bounded memory (Algorithm R)."""
+    """Uniform random sample of a stream with bounded memory.
+
+    :meth:`update` is the classic per-item Algorithm R; :meth:`offer_batch`
+    is the bulk path: Li's geometric-skip Algorithm L jumps straight to the
+    next accepted stream position, so a batch of ``n`` values costs
+    ``O(capacity * log(n / capacity))`` RNG draws instead of ``n`` — the
+    per-item loop disappears from fleet-scale telemetry sweeps.
+    """
 
     def __init__(self, capacity: int = 256, seed: int = 0) -> None:
         if capacity <= 0:
@@ -94,9 +110,15 @@ class ReservoirSample:
         self.seen = 0
         self._rng = np.random.default_rng(seed)
         self._buffer: List[float] = []
+        # Algorithm L skip state: _w is Li's running W, _next the global
+        # 0-based stream index of the next accepted item.  Reset to None by
+        # scalar updates (the two algorithms keep separate acceptance state).
+        self._w: Optional[float] = None
+        self._next: Optional[int] = None
 
     def update(self, values: Iterable[float] | np.ndarray) -> None:
-        """Offer values to the reservoir."""
+        """Offer values to the reservoir one at a time (Algorithm R)."""
+        self._w = self._next = None
         for x in np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel():
             self.seen += 1
             if len(self._buffer) < self.capacity:
@@ -105,6 +127,47 @@ class ReservoirSample:
                 j = int(self._rng.integers(0, self.seen))
                 if j < self.capacity:
                     self._buffer[j] = float(x)
+
+    def _advance_skip(self) -> None:
+        """Draw the gap to the next accepted stream index from current W.
+
+        ``log(U)`` for uniform ``U`` is drawn as ``-Exponential(1)``, which
+        cannot produce ``log(0)``.
+        """
+        self._next += int(-self._rng.exponential() // np.log1p(-self._w)) + 1
+
+    def offer_batch(self, values: Iterable[float] | np.ndarray) -> None:
+        """Offer a whole array via geometric skips (Algorithm L)."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.float64)).ravel()
+        pos = 0
+        if len(self._buffer) < self.capacity:
+            take = min(self.capacity - len(self._buffer), arr.size)
+            self._buffer.extend(float(x) for x in arr[:take])
+            self.seen += take
+            pos = take
+            if pos >= arr.size:
+                return
+        if self._w is None:
+            # (Re)initialize W for a stream that is already `seen` items in:
+            # W — the current acceptance probability, i.e. the k-th smallest
+            # priority among everything seen — is the k-th order statistic
+            # of `seen` uniforms, Beta(k, seen - k + 1).  At seen == k this
+            # is Beta(k, 1) = U^(1/k), Algorithm L's fill-time init, and for
+            # larger `seen` (scalar updates ran in between) it keeps the
+            # sample uniform instead of letting the next batch evict the
+            # entire earlier stream.
+            w = float(self._rng.beta(self.capacity, self.seen - self.capacity + 1))
+            self._w = min(max(w, 5e-324), 1.0 - 1e-16)
+            self._next = self.seen - 1
+            self._advance_skip()
+        n_rest = arr.size - pos
+        while self._next < self.seen + n_rest:
+            self._buffer[int(self._rng.integers(0, self.capacity))] = float(
+                arr[pos + (self._next - self.seen)]
+            )
+            self._w = max(self._w * float(np.exp(-self._rng.exponential() / self.capacity)), 5e-324)
+            self._advance_skip()
+        self.seen += n_rest
 
     def values(self) -> np.ndarray:
         """Current sample as an array."""
@@ -120,6 +183,12 @@ class CountMinSketch:
     Used to track categorical statistics (predicted class counts, error
     codes) on-device; sketches from many devices merge by element-wise
     addition as long as they share ``(width, depth, seed)``.
+
+    Integer items (the common case: predicted-class ids) hash through a
+    vectorized splitmix64 mix so :meth:`add_batch` ingests whole prediction
+    arrays with a handful of NumPy calls; arbitrary objects keep the
+    blake2b path.  Both :meth:`add` and :meth:`estimate` use the same
+    per-type hash, so scalar and batch ingestion agree exactly.
     """
 
     def __init__(self, width: int = 64, depth: int = 4, seed: int = 0) -> None:
@@ -131,7 +200,27 @@ class CountMinSketch:
         self.table = np.zeros((depth, width), dtype=np.int64)
         self.total = 0
 
+    def _int_indices(self, items: np.ndarray) -> np.ndarray:
+        """splitmix64-mixed table columns for integer items, shape (depth, n)."""
+        x = items.astype(np.uint64)
+        idx = np.empty((self.depth, x.size), dtype=np.int64)
+        for d in range(self.depth):
+            z = x + np.uint64(((self.seed + d + 1) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+            z ^= z >> np.uint64(31)
+            idx[d] = (z % np.uint64(self.width)).astype(np.int64)
+        return idx
+
     def _indices(self, item: object) -> np.ndarray:
+        # Integers take the vectorized hash so scalar add()/estimate() agree
+        # with add_batch(); bools (a subclass of int, hashed distinctly from
+        # 0/1 before this fast path existed) and ints outside the uint64
+        # wrap range keep the arbitrary-object blake2b path.
+        if isinstance(item, (int, np.integer)) and not isinstance(item, (bool, np.bool_)):
+            value = int(item)
+            if -(2 ** 63) <= value < 2 ** 64:
+                return self._int_indices(np.asarray([value])).ravel()
         key = repr(item).encode()
         idx = np.empty(self.depth, dtype=np.int64)
         for d in range(self.depth):
@@ -144,6 +233,34 @@ class CountMinSketch:
         idx = self._indices(item)
         self.table[np.arange(self.depth), idx] += count
         self.total += count
+
+    def add_batch(self, items: np.ndarray, counts: Optional[np.ndarray] = None) -> None:
+        """Ingest an integer array (e.g. a window of predicted classes).
+
+        Equivalent to ``add(item, count)`` per element — same hash indices,
+        same table — but the whole batch lands in one fused ``bincount``
+        per sketch instead of a Python loop.
+        """
+        arr = np.atleast_1d(np.asarray(items)).ravel()
+        if arr.size == 0:
+            return
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError("add_batch vectorizes integer items; use add() for arbitrary objects")
+        if counts is None:
+            counts = np.ones(arr.size, dtype=np.int64)
+        else:
+            counts = np.atleast_1d(np.asarray(counts, dtype=np.int64)).ravel()
+            if counts.shape != arr.shape:
+                raise ValueError("counts must match items in shape")
+        idx = self._int_indices(arr)
+        flat = idx + (np.arange(self.depth, dtype=np.int64) * self.width)[:, None]
+        delta = np.bincount(
+            flat.ravel(),
+            weights=np.broadcast_to(counts, (self.depth, arr.size)).ravel(),
+            minlength=self.depth * self.width,
+        )
+        self.table += delta.astype(np.int64).reshape(self.depth, self.width)
+        self.total += int(counts.sum())
 
     def estimate(self, item: object) -> int:
         """Point estimate (upper-biased) of an item's count."""

@@ -13,12 +13,18 @@ from many devices on the backend.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .sketches import CountMinSketch, P2Quantile, RunningMoments, StreamingHistogram
+from .sketches import CountMinSketch, P2Quantile, ReservoirSample, RunningMoments, StreamingHistogram
+
+
+def _device_seed(device_id: str) -> int:
+    """Deterministic per-device RNG seed (stable across processes)."""
+    return int.from_bytes(hashlib.blake2b(device_id.encode(), digest_size=4).digest(), "little")
 
 __all__ = ["QueryRecord", "TelemetryRecorder", "TelemetryReport", "TelemetryAggregator"]
 
@@ -60,7 +66,25 @@ class TelemetryReport:
 
 
 class TelemetryRecorder:
-    """On-device telemetry agent with constant memory footprint."""
+    """On-device telemetry agent with constant memory footprint.
+
+    Besides the moment/quantile summaries, the recorder keeps two mergeable
+    sketches fed by the bulk serving path:
+
+    * a :class:`~repro.observability.sketches.ReservoirSample` of raw
+      latencies (``offer_batch`` geometric skips, so fleet-scale windows
+      cost O(capacity·log) RNG draws) for backend percentile estimation
+      beyond the single P² quantile;
+    * when ``num_classes`` is unknown (0), predicted classes land in a
+      :class:`~repro.observability.sketches.CountMinSketch` via the
+      vectorized ``add_batch`` — previously such predictions were dropped —
+      with the distinct observed ids tracked up to a constant cap so
+      :meth:`build_report` can still emit an (upper-biased) histogram.
+    """
+
+    LATENCY_SAMPLE_CAPACITY = 64
+    _SKETCH_WIDTH, _SKETCH_DEPTH = 32, 2
+    _MAX_OBSERVED_CLASSES = 256
 
     def __init__(
         self,
@@ -77,37 +101,79 @@ class TelemetryRecorder:
         self._energy = RunningMoments()
         self._memory = RunningMoments()
         self._pred_counts = np.zeros(max(self.num_classes, 1), dtype=np.int64)
+        self._latency_sample = ReservoirSample(
+            capacity=self.LATENCY_SAMPLE_CAPACITY, seed=_device_seed(device_id)
+        )
+        self._pred_sketch = (
+            CountMinSketch(width=self._SKETCH_WIDTH, depth=self._SKETCH_DEPTH, seed=_device_seed(device_id))
+            if self.num_classes == 0
+            else None
+        )
+        self._observed_classes: set = set()
         self.n_queries = 0
+
+    def _sketch_predictions(self, predictions: np.ndarray) -> None:
+        classes = np.asarray(predictions).astype(np.int64).ravel()
+        if classes.size == 0:
+            return
+        self._pred_sketch.add_batch(classes)
+        room = self._MAX_OBSERVED_CLASSES - len(self._observed_classes)
+        if room > 0:
+            fresh = [int(c) for c in np.unique(classes) if int(c) not in self._observed_classes]
+            self._observed_classes.update(fresh[:room])
 
     def record(self, record: QueryRecord) -> None:
         """Record one model execution."""
         self.n_queries += 1
         self._latency.update([record.latency_s])
         self._latency_p.update([record.latency_s])
+        self._latency_sample.update([record.latency_s])
         self._energy.update([record.energy_j])
         self._memory.update([record.memory_bytes])
-        if record.predicted_class is not None and self.num_classes:
+        if record.predicted_class is not None:
             cls = int(record.predicted_class)
-            if 0 <= cls < self.num_classes:
-                self._pred_counts[cls] += 1
+            if self.num_classes:
+                if 0 <= cls < self.num_classes:
+                    self._pred_counts[cls] += 1
+            else:
+                self._sketch_predictions(np.asarray([cls]))
 
     def record_batch(self, latencies: np.ndarray, energies: np.ndarray, memories: np.ndarray, predictions: Optional[np.ndarray] = None) -> None:
-        """Vectorized bulk recording (used by the fleet simulator)."""
+        """Vectorized bulk recording (used by the fleet serving sweep)."""
         latencies = np.asarray(latencies, dtype=np.float64).ravel()
         self.n_queries += latencies.size
         self._latency.update_batch(latencies)
         self._latency_p.update(latencies)
+        self._latency_sample.offer_batch(latencies)
         self._energy.update_batch(np.asarray(energies, dtype=np.float64).ravel())
         self._memory.update_batch(np.asarray(memories, dtype=np.float64).ravel())
-        if predictions is not None and self.num_classes:
-            counts = np.bincount(np.asarray(predictions, dtype=int), minlength=self.num_classes)
-            self._pred_counts += counts[: self.num_classes]
+        if predictions is not None:
+            if self.num_classes:
+                counts = np.bincount(np.asarray(predictions, dtype=int), minlength=self.num_classes)
+                self._pred_counts += counts[: self.num_classes]
+            else:
+                self._sketch_predictions(predictions)
+
+    def latency_sample(self) -> np.ndarray:
+        """Bounded uniform sample of raw latencies seen so far."""
+        return self._latency_sample.values()
 
     # -- reporting ---------------------------------------------------------
     def estimated_payload_bytes(self) -> int:
         """Approximate size of the sync payload (fixed, independent of #queries)."""
-        # 3 moment triplets + quantile + histogram of num_classes int32.
-        return 3 * 3 * 8 + 8 + max(self.num_classes, 1) * 4 + 64
+        # 3 moment triplets + quantile + histogram of num_classes int32
+        # + the latency reservoir (+ the class sketch when classes are unknown).
+        base = 3 * 3 * 8 + 8 + max(self.num_classes, 1) * 4 + 64
+        base += self._latency_sample.capacity * 8
+        if self._pred_sketch is not None:
+            base += self._SKETCH_WIDTH * self._SKETCH_DEPTH * 8
+        return base
+
+    def _prediction_histogram(self) -> Dict[int, int]:
+        if self._pred_sketch is not None:
+            # Upper-biased count-min estimates over the observed class ids.
+            return {cls: self._pred_sketch.estimate(cls) for cls in sorted(self._observed_classes)}
+        return {i: int(c) for i, c in enumerate(self._pred_counts) if c > 0}
 
     def build_report(self) -> TelemetryReport:
         """Snapshot the current statistics into a syncable report."""
@@ -122,7 +188,7 @@ class TelemetryRecorder:
             },
             energy={"mean": self._energy.mean, "total": self._energy.mean * self.n_queries},
             memory={"mean": self._memory.mean},
-            prediction_histogram={i: int(c) for i, c in enumerate(self._pred_counts) if c > 0},
+            prediction_histogram=self._prediction_histogram(),
             payload_bytes=self.estimated_payload_bytes(),
         )
 

@@ -333,3 +333,143 @@ class TestCompiledServing:
         assert plan.graph.metadata.get("bits") == 8
         rebuilt = engine.compile_model("m")  # no args: reuse stored options
         assert rebuilt.graph.metadata.get("bits") == 8
+
+
+def make_fleet_world(n_devices: int = 6, quota: int = 1000, with_plan: bool = True, seed: int = 0):
+    """A multi-device serving world with shared reference monitors."""
+    rng = np.random.default_rng(seed)
+    devices = [
+        EdgeDevice(
+            f"dev-{i}",
+            get_profile("phone-mid"),
+            battery=Battery(capacity_j=1e9, level_j=1e9),
+            seed=seed + i,
+        )
+        for i in range(n_devices)
+    ]
+    fleet = Fleet(devices)
+    backend = BillingBackend()
+    backend.register_plan(PricingPlan("m", price_per_query=0.0015))
+    model = make_mlp(8, 3, hidden=(16,), seed=seed, name="m")
+    ref = rng.normal(size=(120, 8))
+    ref_preds = model.predict_classes(ref)
+    ledgers, monitors = {}, {}
+    for i in range(n_devices):
+        key = backend.enroll_device(f"dev-{i}")
+        ledger = UsageLedger(f"dev-{i}", key)
+        ledger.add_grant(backend.sell_package(f"dev-{i}", "m", quota), backend_key=backend.signing_key())
+        ledgers[f"dev-{i}"] = ledger
+        monitors[f"dev-{i}"] = EdgeMonitor(
+            f"dev-{i}", ref, reference_predictions=ref_preds, num_classes=3
+        )
+    engine = ServingEngine(
+        fleet,
+        cost_model=FixedCostModel(EXACT_COST),
+        models={"m": model},
+        ledgers=ledgers,
+        monitors=monitors,
+    )
+    if with_plan:
+        engine.compile_model("m")
+    return engine, ledgers, devices
+
+
+def fleet_windows(n_devices: int, n_windows: int = 3, seed: int = 1, widths=(20, 35)):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            f"dev-{i}": rng.normal(loc=0.5 * w, size=(widths[i % len(widths)], 8))
+            for i in range(n_devices)
+        }
+        for w in range(n_windows)
+    ]
+
+
+class TestFleetSweep:
+    """serve_fleet's one-sweep-per-window path vs the per-device oracle."""
+
+    def assert_fleet_equivalent(self, with_plan: bool, quota: int = 1000, battery_j: float = 1e9):
+        windows = fleet_windows(6)
+        eng_b, led_b, dev_b = make_fleet_world(quota=quota, with_plan=with_plan)
+        eng_l, led_l, dev_l = make_fleet_world(quota=quota, with_plan=with_plan)
+        for d in dev_b + dev_l:
+            d.battery.level_j = battery_j
+        rb = eng_b.serve_fleet("m", [dict(w) for w in windows])
+        rl = eng_l.serve_fleet("m", [dict(w) for w in windows], batched=False)
+        assert rb.as_dict() == rl.as_dict()
+        assert rb.per_device == rl.per_device
+        for i in range(6):
+            did = f"dev-{i}"
+            assert led_b[did].used("m") == led_l[did].used("m")
+            assert dev_b[i].battery.level_j == dev_l[i].battery.level_j
+            mon_b, mon_l = eng_b.monitors[did], eng_l.monitors[did]
+            assert mon_b.drift_events == mon_l.drift_events
+            for name in mon_b.detectors:
+                assert [r.statistic for r in mon_b.detectors[name].history] == [
+                    r.statistic for r in mon_l.detectors[name].history
+                ]
+            assert mon_b.build_report().as_dict() == mon_l.build_report().as_dict()
+
+    def test_sweep_equals_per_device_loop_with_plan(self):
+        self.assert_fleet_equivalent(with_plan=True)
+
+    def test_sweep_equals_per_device_loop_without_plan(self):
+        self.assert_fleet_equivalent(with_plan=False)
+
+    def test_sweep_equals_per_device_loop_under_quota_pressure(self):
+        # 6 devices x 3 windows x 20-35 queries vs 50 quota: denial tails.
+        self.assert_fleet_equivalent(with_plan=True, quota=50)
+
+    def test_sweep_equals_per_device_loop_under_battery_pressure(self):
+        self.assert_fleet_equivalent(with_plan=True, battery_j=EXACT_COST.energy_j * 40)
+
+    def test_one_compiled_sweep_per_window(self):
+        """The instrumentation check: one run_many (and one underlying plan
+        execution) per (model, window), instead of one plan.run per device."""
+        windows = fleet_windows(6)
+        engine, _, _ = make_fleet_world()
+        plan = engine.plans["m"]
+        calls = {"run": 0, "run_many": 0}
+        orig_run, orig_many = plan.run, plan.run_many
+
+        def counting_run(*args, **kwargs):
+            calls["run"] += 1
+            return orig_run(*args, **kwargs)
+
+        def counting_many(*args, **kwargs):
+            calls["run_many"] += 1
+            return orig_many(*args, **kwargs)
+
+        plan.run, plan.run_many = counting_run, counting_many
+        engine.serve_fleet("m", windows)
+        assert calls["run_many"] == len(windows)
+        assert calls["run"] == len(windows)  # run_many -> one stacked execution
+
+    def test_legacy_path_runs_plan_per_device(self):
+        windows = fleet_windows(6)
+        engine, _, _ = make_fleet_world()
+        plan = engine.plans["m"]
+        calls = {"run": 0}
+        orig_run = plan.run
+
+        def counting_run(*args, **kwargs):
+            calls["run"] += 1
+            return orig_run(*args, **kwargs)
+
+        plan.run = counting_run
+        engine.serve_fleet("m", windows, batched=False)
+        assert calls["run"] == len(windows) * 6
+
+    def test_fleet_monitor_cache_invalidated_on_redeploy(self):
+        engine, _, _ = make_fleet_world(n_devices=2)
+        engine.serve_fleet("m", fleet_windows(2, n_windows=1))
+        fm_first = engine._fleet_monitor()
+        rng = np.random.default_rng(9)
+        engine.monitors["dev-0"] = EdgeMonitor("dev-0", rng.normal(size=(50, 8)))
+        assert engine._fleet_monitor() is not fm_first
+
+    def test_unmonitored_devices_still_served(self):
+        engine, _, _ = make_fleet_world(n_devices=3)
+        del engine.monitors["dev-1"]
+        report = engine.serve_fleet("m", fleet_windows(3, n_windows=1))
+        assert report.per_device["dev-1"]["served"] > 0

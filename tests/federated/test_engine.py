@@ -282,3 +282,82 @@ class TestFleetIntegration:
         assert result.participants == [] and result.n_stragglers == result.n_selected > 0
         for cid in ("client-0", "client-2"):
             assert fleet.get(cid).battery.level_j < 5000.0
+
+
+class TestHardwareStragglerLatency:
+    """RoundScenario.hardware_latency ties straggler timeouts to peak_flops."""
+
+    def _engine_on(self, train, test, profiles):
+        clients = _clients(train, n=len(profiles))
+        devices = [
+            EdgeDevice(c.client_id, get_profile(p), battery=Battery(capacity_j=5e4, plugged_in=True), seed=i)
+            for i, (c, p) in enumerate(zip(clients, profiles))
+        ]
+        for d in devices:
+            d.idle = True
+        return (
+            FederatedEngine(
+                make_mlp(12, 4, hidden=(16,), seed=0),
+                clients,
+                eval_data=(test.x, test.y),
+                fleet=Fleet(devices),
+            ),
+            clients,
+        )
+
+    def test_per_sample_time_follows_device_profile(self, task):
+        train, test = task
+        engine, clients = self._engine_on(train, test, ["mcu-m4", "phone-flagship"])
+        engine.scenario = RoundScenario(hardware_latency=True, straggler_timeout_s=1.0)
+        slow = engine._time_per_sample_s(clients[0].client_id)
+        fast = engine._time_per_sample_s(clients[1].client_id)
+        assert slow > fast > 0.0
+        # cross-check against the cost model directly
+        cm = engine._ensure_cost_model()
+        expected = cm.model_inference_cost(get_profile("mcu-m4"), engine.global_model).latency_s * cm.training_factor
+        assert slow == pytest.approx(expected)
+
+    def test_slow_hardware_straggles_fast_hardware_survives(self, task):
+        train, test = task
+        engine, clients = self._engine_on(train, test, ["mcu-m4", "phone-flagship"])
+        slow_id, fast_id = clients[0].client_id, clients[1].client_id
+        # Deterministic jitter (sigma=0 -> lognormal == 1); deadline between
+        # the two hardware-derived round latencies.
+        engine.scenario = RoundScenario(hardware_latency=True, latency_jitter=0.0, straggler_timeout_s=1.0, seed=0)
+        slow_total = clients[0].n_samples * clients[0].local_epochs * engine._time_per_sample_s(slow_id)
+        fast_total = clients[1].n_samples * clients[1].local_epochs * engine._time_per_sample_s(fast_id)
+        assert fast_total < slow_total
+        engine.scenario = RoundScenario(
+            hardware_latency=True,
+            latency_jitter=0.0,
+            straggler_timeout_s=(slow_total + fast_total) / 2.0,
+            seed=0,
+        )
+        survivors, stragglers, n_drop, n_strag = engine._apply_scenario([slow_id, fast_id], 0)
+        assert survivors == [fast_id]
+        assert stragglers == [slow_id] and n_strag == 1 and n_drop == 0
+
+    def test_unmapped_client_falls_back_to_constant(self, task):
+        train, test = task
+        clients = _clients(train, n=2)
+        engine = FederatedEngine(
+            make_mlp(12, 4, hidden=(16,), seed=0), clients, eval_data=(test.x, test.y)
+        )  # no fleet: no device to read peak_flops from
+        engine.scenario = RoundScenario(hardware_latency=True, time_per_sample_s=7e-3)
+        assert engine._time_per_sample_s(clients[0].client_id) == 7e-3
+
+    def test_round_reports_hardware_stragglers(self, task):
+        train, test = task
+        engine, clients = self._engine_on(train, test, ["mcu-m0", "edge-server"])
+        slow_total = (
+            clients[0].n_samples * clients[0].local_epochs * 3.0
+            * engine._ensure_cost_model().model_inference_cost(
+                get_profile("mcu-m0"), engine.global_model
+            ).latency_s
+        )
+        engine.scenario = RoundScenario(
+            hardware_latency=True, latency_jitter=0.0, straggler_timeout_s=slow_total / 2.0, seed=1
+        )
+        result = engine.run_round(0)
+        assert result.n_stragglers >= 1
+        assert clients[0].client_id not in result.participants

@@ -1,0 +1,220 @@
+"""Differential suite: vectorized column detectors vs the per-column oracle.
+
+The batched scoring path (``ks_statistic_columns`` /
+``population_stability_index_columns`` / ``jensen_shannon_divergence_columns``)
+must be *bit-identical* to the per-column loop it replaces — one
+``scipy.stats.ks_2samp`` / two ``np.histogram`` calls per feature column —
+on any window the oracle accepts: golden cases (constant columns,
+single-sample windows, heavy ties, shared values) plus hypothesis-generated
+random 2-D windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import (
+    JSDetector,
+    KSDetector,
+    PredictionDistributionMonitor,
+    PSIDetector,
+    jensen_shannon_divergence,
+    jensen_shannon_divergence_columns,
+    ks_statistic,
+    ks_statistic_columns,
+    population_stability_index,
+    population_stability_index_columns,
+)
+
+DETECTORS = [KSDetector, PSIDetector, JSDetector]
+
+
+def oracle_columns(ref: np.ndarray, live: np.ndarray, fn) -> np.ndarray:
+    return np.array([fn(ref[:, j], live[:, j]) for j in range(ref.shape[1])])
+
+
+def assert_columns_identical(ref: np.ndarray, live: np.ndarray) -> None:
+    """All three column functions must equal their per-column oracles exactly."""
+    ref_sorted = np.sort(ref, axis=0)
+    np.testing.assert_array_equal(
+        ks_statistic_columns(ref_sorted, live),
+        oracle_columns(ref, live, lambda r, l: ks_statistic(r, l)[0]),
+    )
+    np.testing.assert_array_equal(
+        population_stability_index_columns(ref_sorted, live),
+        oracle_columns(ref, live, population_stability_index),
+    )
+    np.testing.assert_array_equal(
+        jensen_shannon_divergence_columns(ref_sorted, live),
+        oracle_columns(ref, live, jensen_shannon_divergence),
+    )
+
+
+class TestGoldenCases:
+    def test_random_shifted_windows(self, rng):
+        ref = rng.normal(size=(200, 6))
+        for shift in (0.0, 0.5, 3.0):
+            assert_columns_identical(ref, rng.normal(loc=shift, size=(48, 6)))
+
+    def test_constant_columns(self, rng):
+        ref = rng.normal(size=(100, 4))
+        ref[:, 0] = 1.5
+        live = rng.normal(size=(30, 4))
+        live[:, 0] = 1.5  # constant on both sides: degenerate histogram range
+        live[:, 1] = -2.0  # constant live against varying reference
+        assert_columns_identical(ref, live)
+
+    def test_single_sample_window(self, rng):
+        ref = rng.normal(size=(150, 5))
+        assert_columns_identical(ref, rng.normal(size=(1, 5)))
+
+    def test_heavy_ties(self, rng):
+        ref = np.round(rng.normal(size=(120, 3)))
+        live = np.round(rng.normal(loc=1.0, size=(40, 3)))
+        assert_columns_identical(ref, live)
+
+    def test_live_values_shared_with_reference(self, rng):
+        ref = rng.normal(size=(80, 4))
+        live = ref[rng.integers(0, 80, size=25)]  # every live point ties a ref point
+        assert_columns_identical(ref, live)
+
+    def test_tiny_reference(self, rng):
+        assert_columns_identical(rng.normal(size=(2, 2)), rng.normal(size=(3, 2)))
+
+    def test_huge_magnitude_constant_falls_back(self):
+        """lo + 1e-9 == lo at 1e18: the degenerate-edge fallback must kick in."""
+        ref = np.full((50, 2), 1e18)
+        live = np.full((10, 2), 1e18)
+        assert_columns_identical(ref, live)
+
+    def test_empty_live_window_scores_zero_ks(self, rng):
+        ref_sorted = np.sort(rng.normal(size=(50, 3)), axis=0)
+        np.testing.assert_array_equal(ks_statistic_columns(ref_sorted, np.empty((0, 3))), np.zeros(3))
+
+    def test_fleet_stacking_equals_per_device(self, rng):
+        """g windows stacked side-by-side score exactly as g separate sweeps."""
+        ref = rng.normal(size=(100, 4))
+        ref_sorted = np.sort(ref, axis=0)
+        wins = [rng.normal(loc=0.3 * i, size=(20, 4)) for i in range(7)]
+        stack = np.hstack(wins)
+        for fn in (ks_statistic_columns, population_stability_index_columns, jensen_shannon_divergence_columns):
+            got = fn(ref_sorted, stack).reshape(7, 4)
+            want = np.stack([fn(ref_sorted, w) for w in wins])
+            np.testing.assert_array_equal(got, want)
+
+    def test_column_count_mismatch_rejected(self, rng):
+        ref_sorted = np.sort(rng.normal(size=(50, 4)), axis=0)
+        with pytest.raises(ValueError):
+            ks_statistic_columns(ref_sorted, rng.normal(size=(10, 6)))
+
+
+class TestDetectorEquivalence:
+    @pytest.mark.parametrize("detector_cls", DETECTORS)
+    def test_batched_detector_equals_oracle_detector(self, detector_cls, rng):
+        ref = rng.normal(size=(150, 8))
+        batched = detector_cls(ref)
+        oracle = detector_cls(ref, batched=False)
+        for i in range(6):
+            live = rng.normal(loc=0.4 * i, scale=1.0 + 0.2 * i, size=(32, 8))
+            rb, ro = batched.check(live), oracle.check(live)
+            assert rb.statistic == ro.statistic
+            assert rb.drifted == ro.drifted
+        assert [r.statistic for r in batched.history] == [r.statistic for r in oracle.history]
+
+    @pytest.mark.parametrize("detector_cls", DETECTORS)
+    def test_mismatched_width_ravels_like_oracle(self, detector_cls, rng):
+        ref = rng.normal(size=(60, 5))
+        batched = detector_cls(ref)
+        oracle = detector_cls(ref, batched=False)
+        live = rng.normal(size=(24, 3))  # width mismatch: both sides ravel
+        assert batched.check(live).statistic == oracle.check(live).statistic
+
+    @pytest.mark.parametrize("detector_cls", DETECTORS)
+    def test_one_dimensional_reference(self, detector_cls, rng):
+        ref = rng.normal(size=120)
+        batched = detector_cls(ref)
+        oracle = detector_cls(ref, batched=False)
+        live = rng.normal(loc=0.8, size=40)
+        assert batched.check(live).statistic == oracle.check(live).statistic
+
+    @pytest.mark.parametrize("detector_cls", DETECTORS)
+    def test_three_dimensional_window_flattens(self, detector_cls, rng):
+        ref = rng.normal(size=(60, 12))
+        batched = detector_cls(ref)
+        oracle = detector_cls(ref, batched=False)
+        live = rng.normal(size=(16, 3, 4))  # image window, flattens to 12 cols
+        assert batched.check(live).statistic == oracle.check(live).statistic
+
+    def test_reference_sorted_cached_at_construction(self, rng):
+        det = KSDetector(rng.normal(size=(50, 3)))
+        assert det._ref_sorted is not None
+        assert np.all(np.diff(det.reference_sorted, axis=0) >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    n_ref=st.integers(min_value=2, max_value=60),
+    n_live=st.integers(min_value=1, max_value=40),
+    d=st.integers(min_value=1, max_value=5),
+)
+def test_property_batched_matches_oracle(data, n_ref, n_live, d):
+    """Random 2-D windows (bounded floats, duplicates likely) score identically."""
+    elements = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32)
+    ref = np.array(
+        data.draw(st.lists(st.lists(elements, min_size=d, max_size=d), min_size=n_ref, max_size=n_ref)),
+        dtype=np.float64,
+    )
+    live = np.array(
+        data.draw(st.lists(st.lists(elements, min_size=d, max_size=d), min_size=n_live, max_size=n_live)),
+        dtype=np.float64,
+    )
+    assert_columns_identical(ref, live)
+
+
+class TestPredictionMonitorGuard:
+    def test_empty_window_not_drifted(self, rng):
+        monitor = PredictionDistributionMonitor(rng.integers(0, 4, 500), num_classes=4, threshold=0.05)
+        result = monitor.check(np.array([], dtype=int))
+        assert result.statistic == 0.0
+        assert not result.drifted
+        assert len(monitor.history) == 1  # still recorded, windows stay countable
+
+    def test_skewed_window_still_drifts_after_empty(self, rng):
+        monitor = PredictionDistributionMonitor(rng.integers(0, 4, 500), num_classes=4)
+        monitor.check(np.array([], dtype=int))
+        assert monitor.check(np.zeros(200, dtype=int)).drifted
+
+
+class TestNonFiniteIsolation:
+    """A degenerate (NaN/inf) column must not corrupt its neighbours."""
+
+    def test_nan_column_leaves_neighbours_bit_identical(self, rng):
+        ref = rng.normal(size=(100, 3))
+        live = rng.normal(size=(20, 3))
+        live[3, 1] = np.nan
+        ref_sorted = np.sort(ref, axis=0)
+        for fn, oracle in (
+            (population_stability_index_columns, population_stability_index),
+            (jensen_shannon_divergence_columns, jensen_shannon_divergence),
+        ):
+            got = fn(ref_sorted, live)
+            for col in (0, 2):  # clean columns score exactly as the oracle
+                assert got[col] == oracle(ref[:, col], live[:, col])
+
+    def test_nan_in_first_column_does_not_crash_sweep(self, rng):
+        ref = rng.normal(size=(50, 2))
+        live = rng.normal(size=(10, 2))
+        live[0, 0] = np.nan
+        got = population_stability_index_columns(np.sort(ref, axis=0), live)
+        assert got[1] == population_stability_index(ref[:, 1], live[:, 1])
+
+    def test_inf_column_isolated(self, rng):
+        ref = rng.normal(size=(60, 2))
+        live = rng.normal(size=(15, 2))
+        live[4, 0] = np.inf
+        got = jensen_shannon_divergence_columns(np.sort(ref, axis=0), live)
+        assert got[1] == jensen_shannon_divergence(ref[:, 1], live[:, 1])

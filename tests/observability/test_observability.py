@@ -235,3 +235,246 @@ class TestMonitorAndAlerts:
         rule = AlertRule("battery", lambda m: m.get("soc", 1.0) < 0.1, severity="critical")
         assert rule.evaluate({"soc": 0.05}) is not None
         assert rule.evaluate({"soc": 0.9}) is None
+
+
+class TestBatchedSketches:
+    """Bulk ingestion paths: CountMinSketch.add_batch, ReservoirSample.offer_batch,
+    RunningMoments.update delegating arrays to the O(1) merge."""
+
+    def test_count_min_add_batch_equals_sequential(self, rng):
+        items = rng.integers(0, 12, size=4000)
+        batch = CountMinSketch(width=64, depth=4, seed=2)
+        seq = CountMinSketch(width=64, depth=4, seed=2)
+        batch.add_batch(items)
+        for item in items:
+            seq.add(int(item))
+        np.testing.assert_array_equal(batch.table, seq.table)
+        assert batch.total == seq.total
+        for cls in range(12):
+            assert batch.estimate(cls) == seq.estimate(cls)
+            assert batch.estimate(cls) >= int(np.count_nonzero(items == cls))
+
+    def test_count_min_add_batch_with_counts(self, rng):
+        items = rng.integers(0, 8, size=1000)
+        values, counts = np.unique(items, return_counts=True)
+        a = CountMinSketch(seed=5)
+        b = CountMinSketch(seed=5)
+        a.add_batch(items)
+        b.add_batch(values, counts)
+        np.testing.assert_array_equal(a.table, b.table)
+        with pytest.raises(ValueError):
+            a.add_batch(values, counts[:-1])
+
+    def test_count_min_add_batch_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            CountMinSketch().add_batch(np.array([0.5, 1.5]))
+        CountMinSketch().add_batch(np.array([], dtype=int))  # empty is a no-op
+
+    def test_count_min_merge_rejects_any_parameter_mismatch(self):
+        base = CountMinSketch(width=64, depth=4, seed=0)
+        for other in (
+            CountMinSketch(width=32, depth=4, seed=0),
+            CountMinSketch(width=64, depth=2, seed=0),
+            CountMinSketch(width=64, depth=4, seed=1),
+        ):
+            with pytest.raises(ValueError):
+                base.merge(other)
+        # exact-parameter merge still works and sums totals
+        twin = CountMinSketch(width=64, depth=4, seed=0)
+        twin.add(7, 3)
+        base.add(7, 2)
+        assert base.merge(twin).estimate(7) >= 5
+
+    def test_reservoir_offer_batch_bookkeeping(self, rng):
+        r = ReservoirSample(capacity=64, seed=0)
+        for chunk in np.array_split(np.arange(30000, dtype=float), 5):
+            r.offer_batch(chunk)
+        assert len(r) == 64 and r.seen == 30000
+        assert r.values().max() > 15000  # late items do get sampled
+
+    def test_reservoir_offer_batch_small_batches_fill_first(self):
+        r = ReservoirSample(capacity=10, seed=0)
+        r.offer_batch(np.arange(4, dtype=float))
+        assert len(r) == 4 and r.seen == 4
+        r.offer_batch(np.arange(3, dtype=float))
+        assert len(r) == 7
+        np.testing.assert_array_equal(r.values(), [0, 1, 2, 3, 0, 1, 2])
+
+    def test_reservoir_offer_batch_roughly_uniform(self):
+        """Algorithm L inclusion probabilities: sampled-index mean ~ stream mean."""
+        means = [
+            ReservoirSample(capacity=64, seed=s) for s in range(40)
+        ]
+        for s, r in enumerate(means):
+            r.offer_batch(np.arange(20000, dtype=float))
+        grand = np.mean([r.values().mean() for r in means])
+        assert abs(grand - 10000) < 1500
+
+    def test_reservoir_mixing_scalar_and_batch(self):
+        r = ReservoirSample(capacity=16, seed=3)
+        r.update(np.arange(10, dtype=float))
+        r.offer_batch(np.arange(200, dtype=float))
+        r.update([5.0])
+        r.offer_batch(np.arange(50, dtype=float))
+        assert r.seen == 261 and len(r) == 16
+
+    def test_reservoir_batch_after_scalar_fill_stays_uniform(self):
+        """Regression: resuming Algorithm L mid-stream must not let the
+        batch evict the earlier (scalar-fed) stream — W re-initializes from
+        its position-t distribution, not the fill-time one."""
+        fractions = []
+        for s in range(60):
+            r = ReservoirSample(capacity=32, seed=s)
+            r.update(np.arange(5000, dtype=float))
+            r.offer_batch(np.arange(5000, 10000, dtype=float))
+            fractions.append(np.mean(r.values() >= 5000))
+        assert 0.4 < np.mean(fractions) < 0.6
+
+    def test_running_moments_array_update_delegates_to_merge(self, rng):
+        values = rng.normal(2.0, 3.0, size=2500)
+        via_update = RunningMoments()
+        via_batch = RunningMoments()
+        via_update.update(values)
+        via_batch.update_batch(values)
+        assert via_update.count == via_batch.count == 2500
+        assert via_update.mean == via_batch.mean
+        assert via_update.variance == via_batch.variance
+        # scalar updates still use the Welford recurrence
+        via_update.update(1.25)
+        assert via_update.count == 2501
+
+
+class TestDetectionMetricEdges:
+    """detection_delay / false_positive_rate on empty and boundary histories."""
+
+    def test_empty_history(self, rng):
+        detector = KSDetector(rng.normal(size=(50, 2)))
+        assert detector.detection_delay(0) is None
+        assert detector.false_positive_rate() == 0.0
+        assert detector.false_positive_rate(0) == 0.0
+
+    def test_drift_at_index_zero(self, rng):
+        detector = KSDetector(rng.normal(size=(200, 2)), threshold=0.2)
+        detector.check(rng.normal(loc=5.0, size=(100, 2)))  # drifts immediately
+        assert detector.detection_delay(0) == 0
+        assert detector.false_positive_rate(0) == 0.0  # no pre-drift windows
+        assert detector.false_positive_rate() == 1.0
+
+    def test_missed_drift_returns_none(self, rng):
+        detector = KSDetector(rng.normal(size=(200, 2)), threshold=0.99)
+        for _ in range(5):
+            detector.check(rng.normal(size=(100, 2)))
+        assert detector.detection_delay(2) is None
+
+    def test_delay_counts_from_onset(self, rng):
+        detector = KSDetector(rng.normal(size=(300, 2)), threshold=0.25)
+        for i in range(6):
+            loc = 4.0 if i >= 4 else 0.0
+            detector.check(rng.normal(loc=loc, size=(80, 2)))
+        assert detector.detection_delay(2) == 2  # onset index 2, fires at 4
+        assert detector.false_positive_rate(4) == 0.0
+
+
+class TestAlertRuleEdges:
+    def test_default_rules_cover_all_three_signals(self):
+        engine = AlertEngine.default_rules(latency_budget_s=0.1, drift_rate_threshold=0.2)
+        assert {r.name for r in engine.rules} == {"latency_budget", "drift_rate", "battery_failures"}
+        raised = engine.evaluate(
+            {"latency_mean": 0.5, "drift_fraction": 0.9, "failed_inference_fraction": 0.5}
+        )
+        assert {a.rule for a in raised} == {"latency_budget", "drift_rate", "battery_failures"}
+        severities = {a.rule: a.severity for a in raised}
+        assert severities["drift_rate"] == "critical"
+        assert severities["latency_budget"] == "warning"
+
+    def test_default_rules_ignore_missing_metrics(self):
+        engine = AlertEngine.default_rules()
+        assert engine.evaluate({}) == []  # absent metrics default to healthy
+        assert engine.alerts == []
+
+    def test_evaluate_attaches_context_and_message(self):
+        rule = AlertRule("soc_low", lambda m: m.get("soc", 1.0) < 0.2, message="battery low")
+        alert = rule.evaluate({"soc": 0.1, "n": 3.0})
+        assert alert is not None
+        assert alert.message == "battery low"
+        assert dict(alert.context) == {"soc": 0.1, "n": 3.0}
+
+    def test_evaluate_default_message(self):
+        rule = AlertRule("anything", lambda m: True)
+        assert rule.evaluate({}).message == "rule anything fired"
+
+    def test_add_rule_and_history_accumulates(self):
+        engine = AlertEngine()
+        engine.add_rule(AlertRule("always", lambda m: True))
+        engine.evaluate({})
+        engine.evaluate({})
+        assert len(engine.alerts) == 2
+
+
+class TestTelemetrySketchWiring:
+    """TelemetryRecorder's bulk path feeds the batched sketches."""
+
+    def test_latency_reservoir_fed_by_record_batch(self, rng):
+        rec = TelemetryRecorder("dev-1", num_classes=4)
+        for _ in range(20):
+            rec.record_batch(rng.uniform(0.001, 0.02, 500), np.zeros(500), np.zeros(500))
+        sample = rec.latency_sample()
+        assert len(sample) == TelemetryRecorder.LATENCY_SAMPLE_CAPACITY
+        assert rec._latency_sample.seen == 10000
+        assert 0.001 <= sample.min() and sample.max() <= 0.02
+        # payload accounts for the sample and stays constant + small
+        assert rec.estimated_payload_bytes() < 1024
+        before = rec.estimated_payload_bytes()
+        rec.record_batch(rng.uniform(0.001, 0.02, 500), np.zeros(500), np.zeros(500))
+        assert rec.estimated_payload_bytes() == before
+
+    def test_unknown_class_space_uses_count_min_sketch(self, rng):
+        rec = TelemetryRecorder("dev-2", num_classes=0)
+        preds = rng.integers(0, 6, 2000)
+        rec.record_batch(np.full(2000, 0.01), np.zeros(2000), np.zeros(2000), preds)
+        report = rec.build_report()
+        assert set(report.prediction_histogram) == set(np.unique(preds))
+        for cls, est in report.prediction_histogram.items():
+            assert est >= int(np.count_nonzero(preds == cls))  # upper-biased
+        # scalar path agrees with the sketch
+        rec.record(QueryRecord(0.01, 0.0, 0.0, predicted_class=3))
+        assert rec.build_report().prediction_histogram[3] >= 1
+
+    def test_known_class_space_histogram_still_exact(self, rng):
+        rec = TelemetryRecorder("dev-3", num_classes=5)
+        preds = rng.integers(0, 5, 1000)
+        rec.record_batch(np.full(1000, 0.01), np.zeros(1000), np.zeros(1000), preds)
+        assert rec.build_report().prediction_histogram == {
+            int(c): int(n) for c, n in zip(*np.unique(preds, return_counts=True))
+        }
+
+    def test_reports_deterministic_per_device(self, rng):
+        """Same device id + same traffic => byte-equal reports (seeded sketches)."""
+        lat = rng.uniform(0.001, 0.02, 3000)
+        a, b = TelemetryRecorder("dev-9"), TelemetryRecorder("dev-9")
+        a.record_batch(lat, np.zeros(3000), np.zeros(3000))
+        b.record_batch(lat, np.zeros(3000), np.zeros(3000))
+        assert a.build_report().as_dict() == b.build_report().as_dict()
+        np.testing.assert_array_equal(a.latency_sample(), b.latency_sample())
+
+
+class TestSketchReviewRegressions:
+    def test_count_min_huge_int_uses_object_path(self):
+        sketch = CountMinSketch(seed=0)
+        sketch.add(2 ** 70)  # outside uint64: must not crash
+        assert sketch.estimate(2 ** 70) == 1
+
+    def test_count_min_bool_distinct_from_int(self):
+        sketch = CountMinSketch(width=256, depth=4, seed=0)
+        sketch.add(True, 5)
+        assert sketch.estimate(True) == 5
+        # bools hash via repr (pre-fast-path behavior), not as the int 1
+        assert not np.array_equal(sketch._indices(True), sketch._indices(1))
+
+    def test_observed_class_cap_holds_within_one_batch(self):
+        rec = TelemetryRecorder("dev-cap", num_classes=0)
+        rec.record_batch(
+            np.full(5000, 0.01), np.zeros(5000), np.zeros(5000), np.arange(5000)
+        )
+        assert len(rec._observed_classes) == TelemetryRecorder._MAX_OBSERVED_CLASSES
+        assert len(rec.build_report().prediction_histogram) == TelemetryRecorder._MAX_OBSERVED_CLASSES
