@@ -169,6 +169,107 @@ def test_e6_vectorized_engine_speedup(benchmark, smoke_mode):
     assert result["speedup"] >= 10.0, f"vectorized round only {result['speedup']:.1f}x faster"
 
 
+def _mixed_engine_world(n_clients: int = 100, n_per_client: int = 32):
+    """A 100-client Adam+Dropout fleet with heterogeneous batch sizes.
+
+    Half the fleet trains with batch 4, half with batch 8 (different
+    learning rates too), every client runs Adam with FedProx regularization
+    on a Dropout MLP — the configuration that used to drop to the scalar
+    per-client loop wholesale.  ``partition_cohorts`` buckets it into two
+    batched cohorts and sweeps each in lock-step.
+    """
+    ds = make_gaussian_blobs(n_clients * n_per_client, 16, 5, cluster_std=1.2, seed=0)
+    train, _ = ds.split(0.2, seed=0)
+    parts = partition_iid(train, n_clients, seed=1)
+    clients = [
+        FederatedClient(
+            p,
+            local_epochs=3,
+            batch_size=4 if i % 2 == 0 else 8,
+            lr=0.01 if i % 2 == 0 else 0.02,
+            optimizer="adam",
+            proximal_mu=0.1,
+            seed=i,
+        )
+        for i, p in enumerate(parts)
+    ]
+    return FederatedEngine(make_mlp(16, 5, hidden=(16,), dropout=0.15, seed=0), clients)
+
+
+def test_e6_mixed_config_engine_speedup(benchmark, smoke_mode):
+    """Cohort-bucketed Adam+Dropout mixed-batch fleet vs the scalar loop.
+
+    PR 2's guardrail above covers the narrow plain-SGD/uniform-config path;
+    this one covers everything PR 5 generalized: stacked Adam moment
+    tensors, per-client Dropout mask streams, FedProx, and mixed batch
+    sizes bucketed into two vectorized cohorts.  Deltas, per-client losses
+    and local accuracies must stay allclose-identical to the per-client
+    loop while the cohort sweeps run ≥10x faster (best of 3 repetitions,
+    both paths timed in the same repetition to cancel machine noise).
+    """
+    n_rounds = 2 if smoke_mode else 3
+
+    def scenario():
+        from repro.federated import partition_cohorts
+
+        world = _mixed_engine_world(n_clients=10)
+        cohorts = partition_cohorts(world.global_model, list(world.clients.values()))
+        assert sorted(c.key[:2] for c in cohorts) == [("adam", 4), ("adam", 8)]
+        assert all(c.batched for c in cohorts), "mixed fleet must not hit the scalar fallback"
+        # Warm both paths so one-time costs don't skew the ratio.
+        world.run_round(0)
+        warm = _mixed_engine_world(n_clients=10)
+        warm.run_round_legacy(0)
+
+        best = {"speedup": 0.0}
+        for _rep in range(3):
+            eng_v, eng_l = _mixed_engine_world(), _mixed_engine_world()
+            t0 = time.perf_counter()
+            for r in range(n_rounds):
+                eng_v.run_round(r)
+            t_vec = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for r in range(n_rounds):
+                eng_l.run_round_legacy(r)
+            t_legacy = time.perf_counter() - t0
+            w_vec = eng_v.global_model.get_flat_weights()
+            w_legacy = eng_l.global_model.get_flat_weights()
+            rep = {
+                "n_clients": 100,
+                "n_rounds": n_rounds,
+                "vectorized_s": t_vec,
+                "legacy_s": t_legacy,
+                "speedup": t_legacy / max(t_vec, 1e-12),
+                "identical_delta": bool(np.allclose(w_vec, w_legacy, atol=1e-9)),
+                "identical_bytes": all(
+                    (a.uplink_bytes, a.downlink_bytes, a.participants)
+                    == (b.uplink_bytes, b.downlink_bytes, b.participants)
+                    for a, b in zip(eng_v.history, eng_l.history)
+                ),
+                "identical_losses": bool(
+                    np.allclose(
+                        [r.train_loss for r in eng_v.history], [r.train_loss for r in eng_l.history]
+                    )
+                ),
+                "identical_accuracies": bool(
+                    np.allclose(
+                        [r.mean_local_accuracy for r in eng_v.history],
+                        [r.mean_local_accuracy for r in eng_l.history],
+                    )
+                ),
+            }
+            # Equivalence must hold on EVERY repetition; keep the best timing.
+            assert rep["identical_delta"], "cohort sweep diverged from the per-client loop"
+            assert rep["identical_bytes"] and rep["identical_losses"] and rep["identical_accuracies"]
+            if rep["speedup"] > best["speedup"]:
+                best = rep
+        return best
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    assert result["speedup"] >= 10.0, f"cohort-bucketed round only {result['speedup']:.1f}x faster"
+
+
 def test_e6_scenario_round_diversity(benchmark, fed_task, smoke_mode):
     """Dropouts, straggler timeouts and byzantine clients in one round loop.
 

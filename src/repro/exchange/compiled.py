@@ -33,7 +33,16 @@ is allclose-identical to ``GraphExecutor(expand_fused_activations(graph))``
 (``activation_bits`` or explicit ``quantize`` nodes) computes its range
 over whatever batch the executor is handed, so :meth:`run_many` falls back
 to per-window execution for such graphs to preserve exact per-window
-statistics.
+statistics — *unless* the plan is calibrated: passing ``calibration_data``
+(or calling :meth:`CompiledExecutor.calibrate_activations`) records each
+quantization site's activation range once, after which the plan quantizes
+against those **static** ranges
+(:func:`repro.optimize.quantization.static_fake_quantize`), every kernel is
+per-sample independent again, and ``run_many`` stacks quantized graphs
+exactly like fp32 ones.  On the calibration batch itself the static path is
+bit-identical to the dynamic oracle; elsewhere it differs by at most half a
+quantization step per site (plus clipping outside the calibrated range) —
+the standard static-range deployment contract.
 
 **Adding a fused kernel**: add a ``_compile_<op>`` branch in
 :meth:`CompiledExecutor._compile_node` that captures everything derivable
@@ -54,6 +63,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn import activations as A
+from repro.optimize.quantization import static_fake_quantize
 
 from .executor import _fake_quantize, quantize_node_params
 from .graph import GraphIR, GraphNode
@@ -107,9 +117,20 @@ class CompiledExecutor:
         Honour per-node ``bits`` / ``activation_bits`` annotations exactly
         like the reference executor.  Weight quantization is folded once at
         compile time.
+    calibration_data:
+        Optional calibration batch.  When given (and the plan has activation
+        quantization sites), :meth:`calibrate_activations` runs on it at
+        construction time so the plan quantizes against static recorded
+        ranges and stays stackable in :meth:`run_many`.
     """
 
-    def __init__(self, graph: GraphIR, apply_quantization: bool = True, chunk_size: int = 256) -> None:
+    def __init__(
+        self,
+        graph: GraphIR,
+        apply_quantization: bool = True,
+        chunk_size: int = 256,
+        calibration_data: Optional[np.ndarray] = None,
+    ) -> None:
         self.graph = graph
         self.apply_quantization = apply_quantization
         self.chunk_size = int(chunk_size)
@@ -118,6 +139,12 @@ class CompiledExecutor:
         # i.e. the graph has no data-dependent (activation) quantization and
         # run_many may execute one stacked GEMM sweep over all windows.
         self.stacking_exact = True
+        # Activation-quantization sites (site name -> calibrated max-abs
+        # range).  Empty until calibrate_activations records the ranges;
+        # uncalibrated sites quantize dynamically per batch.
+        self.quant_sites: List[str] = []
+        self.activation_ranges: Dict[str, float] = {}
+        self._calibrating = False
         # Workspace buffers keyed by (node_index, role, shape).  Keying by
         # shape lets the main chunk size and a remainder chunk coexist
         # instead of thrashing one slot; a small LRU bounds the memory when
@@ -132,6 +159,8 @@ class CompiledExecutor:
         in_shapes = [graph.input_shape] + graph.shapes()[:-1]
         for idx, node in enumerate(graph.nodes):
             self._steps.extend(self._compile_node(idx, node, in_shapes[idx]))
+        if calibration_data is not None:
+            self.calibrate_activations(calibration_data)
 
     # -- workspace ---------------------------------------------------------
     def _buf(self, key: Tuple[int, str], shape: Tuple[int, ...], zero: bool = False) -> np.ndarray:
@@ -155,6 +184,54 @@ class CompiledExecutor:
     def workspace_bytes(self) -> int:
         """Bytes currently held in cached workspaces (observability)."""
         return int(sum(b.nbytes for b in self._buffers.values()))
+
+    # -- activation quantization sites -------------------------------------
+    def _new_quant_site(self, name: str) -> str:
+        site = name if name not in self.quant_sites else f"{name}#{len(self.quant_sites)}"
+        self.quant_sites.append(site)
+        return site
+
+    def _quantize_site(self, site: str, x: np.ndarray, bits: int) -> np.ndarray:
+        """Quantize one site's activations: static range once calibrated,
+        dynamic (per-batch) range otherwise; calibration runs record the
+        observed range while still applying the dynamic quantizer, so
+        downstream sites calibrate on exactly the tensors they will see."""
+        if self._calibrating:
+            observed = float(np.max(np.abs(x))) if x.size else 0.0
+            prev = self.activation_ranges.get(site)
+            self.activation_ranges[site] = observed if prev is None else max(prev, observed)
+            return _fake_quantize(x, bits)
+        calibrated = self.activation_ranges.get(site)
+        if calibrated is None:
+            return _fake_quantize(x, bits)
+        return static_fake_quantize(x, bits, calibrated)
+
+    def calibrate_activations(self, calibration_x: np.ndarray) -> Dict[str, float]:
+        """Record static activation ranges on a calibration batch.
+
+        After calibration every quantization site uses its recorded max-abs
+        range (:func:`~repro.optimize.quantization.static_fake_quantize`), so
+        per-sample outputs no longer depend on batch composition and
+        :meth:`run_many` stacks quantized graphs in one sweep
+        (``stacking_exact`` flips to True).  Returns the recorded ranges
+        (``site name -> max_abs``).  On the calibration batch itself the
+        static path reproduces the dynamic-range oracle bit for bit; on
+        other data each site differs by at most half a quantization step,
+        plus clipping for values outside the calibrated range.
+        """
+        if not self.quant_sites:
+            return {}
+        calibration_x = np.asarray(calibration_x, dtype=np.float64)
+        if calibration_x.shape[0] == 0:
+            raise ValueError("calibration batch must contain at least one sample")
+        self.activation_ranges.clear()
+        self._calibrating = True
+        try:
+            self._run_steps(calibration_x, None)
+        finally:
+            self._calibrating = False
+        self.stacking_exact = True
+        return dict(self.activation_ranges)
 
     def _padded(self, idx: int, x: np.ndarray, pad: int) -> np.ndarray:
         """Zero-pad H/W into a plan-owned buffer (identity when pad == 0).
@@ -206,7 +283,8 @@ class CompiledExecutor:
         kernel = self._compile_simple(idx, node, params)
         steps: List[_Step] = [kernel] if kernel is not None else []
         if act_bits < 32:
-            steps.append(lambda x, gemms: _fake_quantize(x, act_bits))
+            site = self._new_quant_site(f"{node.name}/act")
+            steps.append(lambda x, gemms: self._quantize_site(site, x, act_bits))
         if fused is not None:
             # Non-compute node carrying a fused activation (not produced by
             # the standard passes, but legal in the IR).
@@ -226,6 +304,7 @@ class CompiledExecutor:
         if node.attrs.get("use_bias", True) and "b" in params:
             b = np.asarray(params["b"], dtype=np.float64)
         self.n_gemm_steps += 1
+        site = self._new_quant_site(f"{node.name}/act") if act_bits < 32 else None
 
         def step(x: np.ndarray, gemms: Optional[List[GemmRecord]]) -> np.ndarray:
             z = self._buf((idx, "out"), (x.shape[0], w.shape[1]))
@@ -234,8 +313,8 @@ class CompiledExecutor:
                 gemms.append((x.copy(), w, z.copy()))
             if b is not None:
                 z += b
-            if act_bits < 32:
-                z = _fake_quantize(z, act_bits)
+            if site is not None:
+                z = self._quantize_site(site, z, act_bits)
             if fused is not None:
                 z = _apply_activation(fused, z)
             return z
@@ -264,6 +343,7 @@ class CompiledExecutor:
         else:
             wmat = np.ascontiguousarray(w.reshape(-1, w.shape[-1]))
             self.n_gemm_steps += 1
+        site = self._new_quant_site(f"{node.name}/act") if act_bits < 32 else None
 
         def step(x: np.ndarray, gemms: Optional[List[GemmRecord]]) -> np.ndarray:
             n = x.shape[0]
@@ -304,8 +384,8 @@ class CompiledExecutor:
                 z += b
             # Per-tensor quantization and element-wise activations are
             # shape-independent, so both run on the GEMM/tap output directly.
-            if act_bits < 32:
-                z = _fake_quantize(z, act_bits)
+            if site is not None:
+                z = self._quantize_site(site, z, act_bits)
             if fused is not None:
                 z = _apply_activation(fused, z)
             return z.reshape(n, out_h, out_w, out_c)
@@ -373,7 +453,8 @@ class CompiledExecutor:
             return lambda x, gemms: x.reshape(x.shape[0], -1)
         if op == "quantize":
             q_bits = int(attrs.get("bits", 8))
-            return lambda x, gemms: _fake_quantize(x, q_bits)
+            q_site = self._new_quant_site(node.name)
+            return lambda x, gemms: self._quantize_site(q_site, x, q_bits)
         if op == "normalize":
             mean = np.asarray(attrs.get("mean", 0.0))
             std = np.asarray(attrs.get("std", 1.0))
@@ -441,9 +522,11 @@ class CompiledExecutor:
         and split back — per-window results are identical to per-window
         :meth:`run` calls because every kernel is per-sample independent.
         The returned arrays are views into one shared result tensor.
-        Graphs with data-dependent quantization (``activation_bits`` /
-        ``quantize`` nodes) fall back to a per-window loop so each window
-        keeps its own quantization statistics.
+        Graphs with *uncalibrated* data-dependent quantization
+        (``activation_bits`` / ``quantize`` nodes) fall back to a per-window
+        loop so each window keeps its own quantization statistics; after
+        :meth:`calibrate_activations` the quantizers use static recorded
+        ranges and such graphs stack exactly like fp32 ones.
         """
         arrays = [np.asarray(w, dtype=np.float64) for w in windows]
         if not arrays:
@@ -471,9 +554,24 @@ class FleetExecutor:
         self.plans: Dict[str, CompiledExecutor] = dict(plans)
 
     @classmethod
-    def from_graphs(cls, graphs: Mapping[str, GraphIR], apply_quantization: bool = True) -> "FleetExecutor":
-        """Compile one plan per named graph (e.g. per-target artifacts)."""
-        return cls({name: CompiledExecutor(g, apply_quantization=apply_quantization) for name, g in graphs.items()})
+    def from_graphs(
+        cls,
+        graphs: Mapping[str, GraphIR],
+        apply_quantization: bool = True,
+        calibration_data: Optional[np.ndarray] = None,
+    ) -> "FleetExecutor":
+        """Compile one plan per named graph (e.g. per-target artifacts).
+
+        ``calibration_data`` (one shared batch) calibrates every variant's
+        activation quantizers so quantized variants stay stackable."""
+        return cls(
+            {
+                name: CompiledExecutor(
+                    g, apply_quantization=apply_quantization, calibration_data=calibration_data
+                )
+                for name, g in graphs.items()
+            }
+        )
 
     @classmethod
     def from_models(cls, models: Mapping[str, object], pipeline=None) -> "FleetExecutor":

@@ -19,9 +19,11 @@ from .compression import (
     get_compressor,
 )
 from .engine import (
+    Cohort,
     FederatedEngine,
     RoundScenario,
     noniid_severity_sweep,
+    partition_cohorts,
     train_clients_batched,
     vectorized_supported,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "noniid_severity_sweep",
     "train_clients_batched",
     "vectorized_supported",
+    "Cohort",
+    "partition_cohorts",
     "Aggregator",
     "FedAvgAggregator",
     "FedAdamAggregator",

@@ -20,7 +20,7 @@ import numpy as np
 from repro.data.federated import ClientData
 from repro.nn.losses import get_loss
 from repro.nn.model import Sequential, batch_iterator
-from repro.nn.optimizers import get_optimizer
+from repro.nn.optimizers import Optimizer, get_optimizer
 
 __all__ = ["ClientUpdate", "FederatedClient"]
 
@@ -47,6 +47,7 @@ class FederatedClient:
         lr: float = 0.01,
         proximal_mu: float = 0.0,
         optimizer: str = "sgd",
+        optimizer_kwargs: Optional[Dict[str, float]] = None,
         seed: int = 0,
     ) -> None:
         self.data = data
@@ -55,6 +56,7 @@ class FederatedClient:
         self.lr = float(lr)
         self.proximal_mu = float(proximal_mu)
         self.optimizer_name = optimizer
+        self.optimizer_kwargs: Dict[str, float] = dict(optimizer_kwargs or {})
         self.seed = int(seed)
         self.personal_model: Optional[Sequential] = None
 
@@ -67,12 +69,48 @@ class FederatedClient:
         return int(self.data.x.shape[0])
 
     # ------------------------------------------------------------------
+    # optimizer introspection (vectorized engine support)
+    # ------------------------------------------------------------------
+    def _fresh_optimizer(self) -> Optional[Optimizer]:
+        """The optimizer one local round would build, or None if that cannot
+        be replayed in a batched cohort (a shared :class:`Optimizer` instance
+        carries state across rounds; unknown names / kwargs fail anyway)."""
+        if isinstance(self.optimizer_name, Optimizer):
+            return None
+        try:
+            return get_optimizer(self.optimizer_name, lr=self.lr, **self.optimizer_kwargs)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def optimizer_state_layout(self) -> Optional[Tuple[str, ...]]:
+        """Per-parameter optimizer state slots local training allocates
+        (``()`` for SGD, ``("velocity",)`` for momentum, ``("m", "v", "t")``
+        for Adam) — the layout the batched engine stacks per cohort.  None
+        when the optimizer is not replayable in a batched sweep."""
+        opt = self._fresh_optimizer()
+        return None if opt is None else opt.state_slots
+
+    def batched_optimizer_config(self) -> Optional[Dict[str, object]]:
+        """Resolved optimizer family + hyper-parameters for cohort bucketing.
+
+        Returns ``{"family": "sgd"|"momentum"|"adam", ...hyperparams}`` with
+        every default filled in, or None when this client must take the
+        per-client fallback path.
+        """
+        opt = self._fresh_optimizer()
+        if opt is None:
+            return None
+        cfg: Dict[str, object] = dict(opt.hyperparams())
+        cfg["family"] = type(opt).__name__.lower()
+        return cfg
+
+    # ------------------------------------------------------------------
     # local training
     # ------------------------------------------------------------------
     def _local_train(self, model: Sequential, global_weights: np.ndarray) -> float:
         """Train ``model`` in place on the local shard; returns mean loss."""
         loss_fn = get_loss("cross_entropy")
-        opt = get_optimizer(self.optimizer_name, lr=self.lr)
+        opt = get_optimizer(self.optimizer_name, lr=self.lr, **self.optimizer_kwargs)
         rng = np.random.default_rng(self.seed)
         losses: List[float] = []
         for _epoch in range(self.local_epochs):

@@ -6,10 +6,18 @@ loop, compress one delta at a time.  This module executes the same round
 *fleet-wide*:
 
 * client shards are stacked into padded 3-D tensors ``(clients, samples,
-  features)`` and the local SGD epochs run as batched matrix products over
-  every selected client at once (:func:`train_clients_batched`), replaying
-  the exact per-client shuffle order and FedProx term so the result matches
-  the per-client loop to float tolerance;
+  features)`` and the local training epochs run as batched matrix products
+  over every selected client at once (:func:`train_clients_batched`),
+  replaying the exact per-client shuffle order, Dropout mask streams,
+  optimizer state updates (plain SGD, momentum, Adam — with per-client
+  hyper-parameters broadcast over stacked state tensors) and FedProx term,
+  so the result matches the per-client loop to float tolerance;
+* heterogeneous fleets are *bucketed*: :func:`partition_cohorts` groups the
+  selected clients into homogeneous (optimizer family, batch size, epochs)
+  cohorts and the engine runs one vectorized sweep per cohort, so a fleet
+  mixing Adam phones with SGD sensors no longer collapses to the scalar
+  loop — only genuinely unreplayable clients (stateful optimizer instances,
+  unsupported layer types) take the per-client fallback;
 * compressor round-trips are vectorized over the stacked deltas
   (:meth:`UpdateCompressor.roundtrip_batch`);
 * client selection is driven from live :class:`~repro.devices.fleet.Fleet`
@@ -24,18 +32,41 @@ The legacy per-client loop is preserved as
 :meth:`FederatedEngine.run_round_legacy` so benchmarks can assert the
 vectorized path stays equivalent and at least an order of magnitude faster
 (``bench_e6``), mirroring the batched-serving guardrail of ``bench_e1``.
+
+**Extending the batched trainer** (the federated twin of the fused-kernel
+recipe in :mod:`repro.exchange.compiled`):
+
+1. *New layer type*: teach :func:`_supported_layers` to accept it, thread it
+   through the ``plan`` built in :func:`train_clients_batched` (a forward
+   entry, a backward entry, any per-step per-client state such as the
+   Dropout masks), and make sure the flat-delta layout still walks
+   ``sorted(layer.params)`` in model order.
+2. *New optimizer family*: give the :class:`~repro.nn.optimizers.Optimizer`
+   subclass ``state_slots`` + ``hyperparams()``, allocate the matching
+   ``(clients, n_params)`` state planes next to the momentum/Adam ones, and
+   apply the update with per-client ``(C, 1)`` hyper-parameter broadcasts
+   plus ``np.copyto(..., where=active)`` masking (in-place when every client
+   stepped) so clients that exhausted their batches keep bit-identical
+   state.  Replicate the *exact* elementwise operation order of
+   ``Optimizer.update_param`` — equivalence suites assert allclose against
+   the per-client loop.
+3. *New config axis*: add it to the cohort key in :func:`partition_cohorts`
+   (structural knobs like batch size split cohorts; purely numeric knobs
+   like learning rates broadcast inside one cohort) and extend the
+   hypothesis suite in ``tests/federated/test_batched_cohorts.py``.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn import activations as A
-from repro.nn.layers import Dense
+from repro.nn.layers import Dense, Dropout, Layer
 from repro.nn.model import Sequential
 
 from .aggregation import Aggregator, FedAvgAggregator
@@ -47,6 +78,8 @@ __all__ = [
     "RoundResult",
     "RoundScenario",
     "FederatedEngine",
+    "Cohort",
+    "partition_cohorts",
     "vectorized_supported",
     "train_clients_batched",
     "noniid_severity_sweep",
@@ -134,47 +167,106 @@ class RoundScenario:
 
 
 # ---------------------------------------------------------------------------
-# vectorized local training
+# cohort partitioning
 # ---------------------------------------------------------------------------
 
 _SUPPORTED_ACTIVATIONS = {None, "relu", "leaky_relu", "relu6", "tanh", "sigmoid", "linear"}
 
 
-def _dense_stack(model: Sequential) -> Optional[List[Dense]]:
-    """The model's layers if it is a pure Dense stack the trainer supports."""
-    layers: List[Dense] = []
+def _supported_layers(model: Sequential) -> Optional[List[Tuple[str, Layer]]]:
+    """The model's layers as ``(kind, layer)`` ops if the batched trainer
+    can replay them: a stack of Dense (supported activations) and Dropout
+    layers with at least one Dense."""
+    ops: List[Tuple[str, Layer]] = []
+    n_dense = 0
     for layer in model.layers:
-        if type(layer) is not Dense or layer.activation_name not in _SUPPORTED_ACTIVATIONS:
+        if type(layer) is Dense and layer.activation_name in _SUPPORTED_ACTIVATIONS:
+            ops.append(("dense", layer))
+            n_dense += 1
+        elif type(layer) is Dropout:
+            ops.append(("drop", layer))
+        else:
             return None
-        layers.append(layer)
-    return layers if layers else None
+    return ops if n_dense else None
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """A homogeneous slice of one round's contributors.
+
+    ``kind`` is ``"batched"`` (one vectorized sweep), ``"fallback"``
+    (per-client loop: unsupported model or unreplayable optimizer) or
+    ``"idle"`` (zero-sample clients: zero delta, no work at all).
+    ``indices`` are positions into the client sequence that was partitioned.
+    """
+
+    kind: str
+    key: Tuple
+    indices: Tuple[int, ...]
+
+    @property
+    def batched(self) -> bool:
+        return self.kind == "batched"
+
+
+def partition_cohorts(model: Sequential, clients: Sequence[FederatedClient]) -> List[Cohort]:
+    """Partition clients into homogeneous cohorts for per-cohort sweeps.
+
+    Clients sharing (optimizer family, batch size, local epochs) form one
+    batched cohort — per-client *numeric* hyper-parameters (lr, momentum,
+    betas, weight decay, FedProx mu) broadcast inside the sweep and never
+    split a cohort.  Zero-sample clients land in an ``idle`` cohort.
+    Clients the batched trainer cannot replay (a shared
+    :class:`~repro.nn.optimizers.Optimizer` instance whose state persists
+    across rounds) and every client of an unsupported model (non-Dense /
+    Dropout layers) form ``fallback`` cohorts served by the per-client
+    loop, so correctness never depends on batching.
+    """
+    supported_model = _supported_layers(model) is not None
+    groups: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+    for i, client in enumerate(clients):
+        if client.n_samples == 0:
+            key: Tuple = ("idle",)
+        elif not supported_model:
+            key = ("fallback", "model")
+        else:
+            cfg = client.batched_optimizer_config()
+            if cfg is None:
+                key = ("fallback", "optimizer")
+            else:
+                key = ("batched", cfg["family"], int(client.batch_size), int(client.local_epochs))
+        groups.setdefault(key, []).append(i)
+    return [Cohort(kind=key[0], key=key[1:], indices=tuple(idx)) for key, idx in groups.items()]
 
 
 def vectorized_supported(model: Sequential, clients: Sequence[FederatedClient]) -> bool:
-    """Whether :func:`train_clients_batched` can replay this configuration.
+    """Whether ONE batched sweep covers every data-holding client.
 
-    Requires a pure Dense stack (the MLPs every federated experiment uses),
-    plain-SGD clients and a uniform batch size / epoch count across the
-    clients that hold data.  Anything else falls back to the per-client
-    loop, so correctness never depends on this returning True.
+    Heterogeneous-but-replayable fleets return False here yet still avoid
+    the scalar loop: :func:`partition_cohorts` splits them into multiple
+    batched cohorts.  This predicate is the "no bucketing needed" fast
+    answer (and the seed-era compatibility surface).
     """
-    if _dense_stack(model) is None:
+    if _supported_layers(model) is None:
         return False
-    active = [c for c in clients if c.n_samples > 0]
-    if not active:
-        return True
-    ref = active[0]
-    return all(
-        c.optimizer_name == "sgd" and c.batch_size == ref.batch_size and c.local_epochs == ref.local_epochs
-        for c in active
-    )
+    cohorts = [c for c in partition_cohorts(model, clients) if c.kind != "idle"]
+    return all(c.batched for c in cohorts) and len(cohorts) <= 1
 
+
+# ---------------------------------------------------------------------------
+# vectorized local training
+# ---------------------------------------------------------------------------
 
 # Recreating ``default_rng(seed)`` for every client each round is a
 # measurable share of a vectorized round, so Generators are pooled: the
 # initial bit-generator state per seed is cached and restored on reuse,
 # which reproduces the exact stream a fresh ``default_rng(seed)`` yields.
-_RNG_POOL: Dict[int, Tuple[np.random.Generator, dict]] = {}
+# The pool is a small LRU — long multi-round runs that keep minting fresh
+# client seeds (e.g. per-round resampling) would otherwise grow it without
+# bound; an evicted seed simply pays one ``default_rng`` construction again
+# and restarts the identical stream.
+_RNG_POOL: "OrderedDict[int, Tuple[np.random.Generator, dict]]" = OrderedDict()
+_RNG_POOL_MAX = 512
 
 
 def _pooled_rng(seed: int) -> np.random.Generator:
@@ -182,30 +274,108 @@ def _pooled_rng(seed: int) -> np.random.Generator:
     if entry is None:
         rng = np.random.default_rng(seed)
         _RNG_POOL[seed] = (rng, rng.bit_generator.state)
+        while len(_RNG_POOL) > _RNG_POOL_MAX:
+            _RNG_POOL.popitem(last=False)
         return rng
+    _RNG_POOL.move_to_end(seed)
     rng, state = entry
     rng.bit_generator.state = state
     return rng
+
+
+def _momentum_update(param, vel, grad, scratch, mom, lr, active) -> None:
+    """Heavy-ball step on a stacked parameter, masked to active clients.
+
+    Elementwise operation order replicates ``Momentum.update_param``
+    (``v *= m; v -= lr * grad; param += v``) exactly; rows of clients that
+    ran out of batches this step keep their state bit-identical.  With
+    ``active is None`` (every client stepped — the common case) state
+    updates in place, skipping the candidate + masked-copy round-trip.
+    """
+    if active is None:
+        vel *= mom
+        np.multiply(grad, lr, out=grad)
+        vel -= grad
+        param += vel
+        return
+    np.multiply(vel, mom, out=scratch)
+    np.multiply(grad, lr, out=grad)
+    scratch -= grad
+    np.copyto(vel, scratch, where=active)
+    scratch += param
+    np.copyto(param, scratch, where=active)
+
+
+def _adam_update(param, m, v, grad, mc, vc, t1, b1, omb1, b2, omb2, eps, lr, c1, c2, active) -> None:
+    """Adam step on a stacked parameter, masked to active clients.
+
+    Replicates ``Adam.update_param`` elementwise: moment decay + gradient
+    blend, per-client bias corrections ``c1 = 1 - beta1**t`` /
+    ``c2 = 1 - beta2**t`` (computed with Python-float pow, like the scalar
+    loop), then ``param -= lr * m_hat / (sqrt(v_hat) + eps)``.  With
+    ``active is None`` (every client stepped) the moments update in place.
+    """
+    if active is None:
+        m *= b1
+        np.multiply(grad, omb1, out=t1)
+        m += t1
+        v *= b2
+        np.multiply(grad, grad, out=grad)
+        grad *= omb2
+        v += grad
+        np.divide(m, c1, out=mc)  # m_hat
+        np.divide(v, c2, out=vc)  # v_hat
+        np.sqrt(vc, out=vc)
+        vc += eps
+        mc *= lr
+        mc /= vc
+        param -= mc
+        return
+    np.multiply(m, b1, out=mc)
+    np.multiply(grad, omb1, out=t1)
+    mc += t1
+    np.multiply(v, b2, out=vc)
+    np.multiply(grad, grad, out=grad)
+    grad *= omb2
+    vc += grad
+    np.copyto(m, mc, where=active)
+    np.copyto(v, vc, where=active)
+    mc /= c1  # m_hat
+    vc /= c2  # v_hat
+    np.sqrt(vc, out=vc)
+    vc += eps
+    mc *= lr
+    mc /= vc
+    np.subtract(param, mc, out=mc)
+    np.copyto(param, mc, where=active)
 
 
 def train_clients_batched(
     global_model: Sequential,
     clients: Sequence[FederatedClient],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Run every client's local SGD epochs in lock-step with stacked tensors.
+    """Run every client's local epochs in lock-step with stacked tensors.
 
     Replays exactly what ``FederatedClient.train_round`` does per client —
-    same seeded shuffles, same cross-entropy gradients averaged over the
-    true (unpadded) batch sizes, same SGD / FedProx updates — but as one
-    sequence of batched ``(clients, batch, features)`` matrix products.
+    same seeded shuffles, same Dropout masks (each client's mask stream is
+    cloned from the model's Dropout generators, exactly like the per-client
+    model clone), same cross-entropy gradients averaged over the true
+    (unpadded) batch sizes, same SGD / momentum / Adam state updates with
+    per-client hyper-parameters, same FedProx term — but as one sequence of
+    batched ``(clients, batch, features)`` matrix products.
+
+    The clients must form one homogeneous cohort: same optimizer family,
+    batch size and epoch count across the clients that hold data (numeric
+    hyper-parameters may differ per client).  Mixed fleets are split with
+    :func:`partition_cohorts` and swept per cohort.
 
     Returns ``(deltas, mean_losses, local_accuracies)`` where ``deltas`` has
     shape ``(len(clients), n_params)``.  Clients without samples get a zero
     delta, zero loss and zero accuracy, matching the per-client loop.
     """
-    layers = _dense_stack(global_model)
-    if layers is None:
-        raise ValueError("model is not a pure Dense stack; use the per-client loop")
+    ops = _supported_layers(global_model)
+    if ops is None:
+        raise ValueError("model is not a Dense/Dropout stack; use the per-client loop")
     n_params = global_model.get_flat_weights().size
     deltas = np.zeros((len(clients), n_params), dtype=np.float64)
     losses = np.zeros(len(clients), dtype=np.float64)
@@ -213,6 +383,20 @@ def train_clients_batched(
     active = [(i, c) for i, c in enumerate(clients) if c.n_samples > 0]
     if not active:
         return deltas, losses, accs
+
+    configs = [c.batched_optimizer_config() for _, c in active]
+    ref = active[0][1]
+    family = None if configs[0] is None else str(configs[0]["family"])
+    if family is None or any(
+        cfg is None
+        or cfg["family"] != family
+        or c.batch_size != ref.batch_size
+        or c.local_epochs != ref.local_epochs
+        for cfg, (_, c) in zip(configs, active)
+    ):
+        raise ValueError(
+            "clients do not form a homogeneous batched cohort; split them with partition_cohorts() first"
+        )
 
     C = len(active)
     counts = np.array([c.n_samples for _, c in active], dtype=np.int64)
@@ -224,9 +408,8 @@ def train_clients_batched(
         X[ci, : counts[ci]] = client.data.x.reshape(counts[ci], -1)
         Y[ci, : counts[ci]] = client.data.y.astype(np.int64)
 
-    batch_size = active[0][1].batch_size
-    epochs = active[0][1].local_epochs
-    lr3 = np.array([c.lr for _, c in active])[:, None, None]
+    batch_size = ref.batch_size
+    epochs = ref.local_epochs
     mu = np.array([c.proximal_mu for _, c in active], dtype=np.float64)
     use_prox = bool(np.any(mu > 0.0))
     seen_seeds: set = set()
@@ -237,38 +420,167 @@ def train_clients_batched(
         rngs.append(np.random.default_rng(c.seed) if c.seed in seen_seeds else _pooled_rng(c.seed))
         seen_seeds.add(c.seed)
 
-    # Stacked per-client parameters, seeded from the global weights.
-    globals_w = [layer.params["W"] for layer in layers]
-    globals_b = [layer.params.get("b") for layer in layers]
-    acts = [A.get_activation(layer.activation_name) if layer.activation_name else None for layer in layers]
-    relu_like = [layer.activation_name == "relu" for layer in layers]
-    W = [np.repeat(g[None], C, axis=0) for g in globals_w]
-    b = [np.repeat(g[None], C, axis=0) if g is not None else None for g in globals_b]
-    dims = [int(np.prod(global_model.input_shape))] + [layer.units for layer in layers]
-    n_layers = len(layers)
+    # Per-client hyper-parameters broadcast as (C, 1) columns over the flat
+    # parameter planes below.
+    lr2 = np.array([cfg["lr"] for cfg in configs], dtype=np.float64)[:, None]
+    wd2 = np.array([cfg["weight_decay"] for cfg in configs], dtype=np.float64)[:, None]
+    use_wd = bool(np.any(wd2 != 0.0))
+    if family == "momentum":
+        mom2 = np.array([cfg["momentum"] for cfg in configs], dtype=np.float64)[:, None]
+    elif family == "adam":
+        b1_py = [float(cfg["beta1"]) for cfg in configs]
+        b2_py = [float(cfg["beta2"]) for cfg in configs]
+        b1_2 = np.array(b1_py, dtype=np.float64)[:, None]
+        b2_2 = np.array(b2_py, dtype=np.float64)[:, None]
+        omb1_2 = 1.0 - b1_2
+        omb2_2 = 1.0 - b2_2
+        eps2 = np.array([cfg["eps"] for cfg in configs], dtype=np.float64)[:, None]
+
+    # Stacked per-client parameters live in ONE flat (clients, n_params)
+    # plane in the get_flat_weights layout; each Dense layer's weight and
+    # bias are reshaped *views* into it, so GEMMs read/write the stacks
+    # directly while optimizer state updates, weight decay, FedProx and the
+    # final delta all run as single fused ops over the whole plane (per-step
+    # per-layer ufunc chains would otherwise dominate small models).
+    dense_layers = [layer for kind, layer in ops if kind == "dense"]
+    n_dense = len(dense_layers)
+    acts = [A.get_activation(l.activation_name) if l.activation_name else None for l in dense_layers]
+    relu_like = [l.activation_name == "relu" for l in dense_layers]
+    dims = [x_dim] + [layer.units for layer in dense_layers]
+    gflat = global_model.get_flat_weights()
+    WF = np.repeat(gflat[None], C, axis=0)  # parameter plane
+    GF = np.empty_like(WF)  # gradient plane (fully rewritten every step)
+    W: List[np.ndarray] = []
+    b: List[Optional[np.ndarray]] = []
+    gw_v: List[np.ndarray] = []
+    gb_v: List[Optional[np.ndarray]] = []
+    offset = 0
+    for layer in dense_layers:
+        wk, bk = None, None
+        for key in sorted(layer.params):  # "W" precedes "b", like get_flat_weights
+            size = layer.params[key].size
+            if key == "W":
+                shape = (C,) + layer.params[key].shape
+                W.append(WF[:, offset : offset + size].reshape(shape))
+                gw_v.append(GF[:, offset : offset + size].reshape(shape))
+                wk = True
+            else:
+                b.append(WF[:, offset : offset + size].reshape(C, size))
+                gb_v.append(GF[:, offset : offset + size].reshape(C, size))
+                bk = True
+            offset += size
+        if bk is None:
+            b.append(None)
+            gb_v.append(None)
+        assert wk is not None
+
+    plan: List[Tuple[str, int]] = []
+    drop_dims: List[int] = []
+    drop_keep: List[float] = []
+    drop_u: List[np.ndarray] = []
+    cur_dim, di = x_dim, 0
+    for kind, layer in ops:
+        if kind == "dense":
+            plan.append(("dense", di))
+            di += 1
+            cur_dim = layer.units
+        elif layer.rate > 0.0:
+            # Zero-rate Dropout draws nothing in the per-client loop either.
+            plan.append(("drop", len(drop_dims)))
+            drop_dims.append(cur_dim)
+            drop_keep.append(1.0 - float(layer.rate))
+            # Every per-client model clone inherits the SAME generator state
+            # from this layer, so all clients read one common uniform stream
+            # — each at its own rate (counts[ci] rows per epoch).  Draw the
+            # deepest client's worth once; per-epoch gathers below slice each
+            # client's exact stream window, so masks are value-identical to
+            # the scalar loop's sequential per-batch draws.
+            drop_u.append(layer.spawn_stream().random((epochs * n_max, cur_dim)))
+    n_drop = len(drop_dims)
+    # Per-epoch per-client mask rows gathered from the common streams.
+    drop_epoch = [np.empty((C, n_max, drop_dims[pi])) for pi in range(n_drop)]
+
+    # Optimizer state planes + flat update scratch (all (C, n_params)).
+    if family == "momentum":
+        VF = np.zeros_like(WF)
+    elif family == "adam":
+        MF = np.zeros_like(WF)
+        VF = np.zeros_like(WF)
+    U1 = np.empty_like(WF) if (use_wd or use_prox or family != "sgd") else None
+    U2 = np.empty_like(WF) if (use_prox or family == "adam") else None
+    U3 = np.empty_like(WF) if family == "adam" else None
 
     rows = np.arange(C)[:, None]
     loss_sum = np.zeros(C)
     n_batches = np.zeros(C)
     perm = np.zeros((C, n_max), dtype=np.int64)
-    steps = math.ceil(n_max / batch_size)
+
+    # Step geometry (true batch widths, padding masks, loss denominators,
+    # active-client rows) repeats identically every epoch, so precompute it
+    # once — on fleet-scale sweeps the per-step ufunc dispatch for these
+    # little arrays otherwise costs as much as the GEMMs.
+    step_meta: List[Dict[str, object]] = []
+    for s in range(math.ceil(n_max / batch_size)):
+        nb = np.clip(counts - s * batch_size, 0, batch_size)
+        width = int(nb.max())
+        if width == 0:
+            break
+        rowmask = np.arange(width)[None, :] < nb[:, None]
+        step_on = nb > 0
+        step_meta.append(
+            {
+                "nb": nb,
+                "width": width,
+                "mask": rowmask,
+                "maskf": rowmask.astype(np.float64),
+                "cols": np.arange(width)[None, :],
+                "denom": np.maximum(nb, 1).astype(np.float64),
+                "full": bool(rowmask.all()),
+                "active": step_on,
+                "active2": step_on[:, None],
+                "activef": step_on.astype(np.float64),
+                "all_on": bool(step_on.all()),
+            }
+        )
+    steps = len(step_meta)
+
+    if family == "adam":
+        # Bias corrections 1 - beta**t depend only on the (epoch, step)
+        # position; tabulate them with Python-float pow (matching the scalar
+        # loop's arithmetic) instead of re-deriving per step.
+        c1_tab = np.ones((epochs * steps, C))
+        c2_tab = np.ones((epochs * steps, C))
+        t_run = np.zeros(C, dtype=np.int64)
+        k = 0
+        for _e in range(epochs):
+            for s in range(steps):
+                act = step_meta[s]["active"]
+                t_run += act
+                r1, r2 = c1_tab[k], c2_tab[k]
+                for ci in range(C):
+                    if act[ci]:
+                        t = int(t_run[ci])
+                        r1[ci] = 1.0 - b1_py[ci] ** t
+                        r2[ci] = 1.0 - b2_py[ci] ** t
+                k += 1
 
     # All step tensors are preallocated per batch width and every hot op
     # writes through ``out=`` — on a 100-client fleet the allocator churn of
     # fresh (clients, batch, features) temporaries otherwise rivals the
-    # arithmetic itself.  Buffers: z/y per layer, gradient ping-pong per
-    # layer width, per-layer weight/bias gradients, targets and loss temp.
+    # arithmetic itself.  Buffers: z/y per dense layer, gradient ping-pong
+    # per layer width, per-layer weight/bias gradients, Dropout masks and
+    # outputs, targets and loss temp.
     buffers: Dict[int, Dict[str, object]] = {}
 
     def _buffers(width: int) -> Dict[str, object]:
         buf = buffers.get(width)
         if buf is None:
             buf = {
-                "z": [np.empty((C, width, dims[li + 1])) for li in range(n_layers)],
-                "y": [np.empty((C, width, dims[li + 1])) for li in range(n_layers)],
-                "g": [np.empty((C, width, dims[li + 1])) for li in range(n_layers)],
-                "gw": [np.empty((C, dims[li], dims[li + 1])) for li in range(n_layers)],
-                "gb": [np.empty((C, dims[li + 1])) if b[li] is not None else None for li in range(n_layers)],
+                "z": [np.empty((C, width, dims[li + 1])) for li in range(n_dense)],
+                "y": [np.empty((C, width, dims[li + 1])) for li in range(n_dense)],
+                "g": [np.empty((C, width, dims[li + 1])) for li in range(n_dense)],
+                "dm": [np.empty((C, width, drop_dims[pi])) for pi in range(n_drop)],
+                "do": [np.empty((C, width, drop_dims[pi])) for pi in range(n_drop)],
                 "t": np.empty((C, width, dims[-1])),
                 "tmp": np.empty((C, width, dims[-1])),
             }
@@ -277,6 +589,7 @@ def train_clients_batched(
 
     Xp = np.empty_like(X)
     Yp = np.empty_like(Y)
+    sample_rows = np.arange(n_max)[None, :]
     for _epoch in range(epochs):
         for ci, rng in enumerate(rngs):
             idx = np.arange(counts[ci])
@@ -285,50 +598,66 @@ def train_clients_batched(
         # One gather per epoch; every step below slices contiguous views.
         Xp[:] = X[rows, perm]
         Yp[:] = Y[rows, perm]
+        for pi in range(n_drop):
+            # Client ci consumes counts[ci] mask rows per epoch, so its
+            # epoch-e window starts at common-stream row e * counts[ci].
+            np.take(drop_u[pi], _epoch * counts[:, None] + sample_rows, axis=0, out=drop_epoch[pi])
         for s in range(steps):
-            nb = np.clip(counts - s * batch_size, 0, batch_size)
-            width = int(nb.max())
-            if width == 0:
-                break
+            meta = step_meta[s]
+            width: int = meta["width"]  # type: ignore[assignment]
+            mask: np.ndarray = meta["mask"]  # type: ignore[assignment]
+            full: bool = meta["full"]  # type: ignore[assignment]
             xb = Xp[:, s * batch_size : s * batch_size + width]
             yb = Yp[:, s * batch_size : s * batch_size + width]
-            mask = np.arange(width)[None, :] < nb[:, None]
             buf = _buffers(width)
             zs: List[np.ndarray] = buf["z"]  # type: ignore[assignment]
             ys: List[np.ndarray] = buf["y"]  # type: ignore[assignment]
             gs: List[np.ndarray] = buf["g"]  # type: ignore[assignment]
-            gws: List[np.ndarray] = buf["gw"]  # type: ignore[assignment]
-            gbs = buf["gb"]
+            dms: List[np.ndarray] = buf["dm"]  # type: ignore[assignment]
+            dos: List[np.ndarray] = buf["do"]  # type: ignore[assignment]
 
-            # Forward pass through the Dense stack.
+            # Forward pass through the Dense/Dropout plan.
             h = xb
-            hs = []
-            for li in range(n_layers):
-                hs.append(h)
-                np.matmul(h, W[li], out=zs[li])
-                if b[li] is not None:
-                    zs[li] += b[li][:, None, :]
-                if acts[li] is not None:
-                    if relu_like[li]:
-                        np.maximum(zs[li], 0.0, out=ys[li])
+            inputs: List[Optional[np.ndarray]] = [None] * n_dense
+            for kind, k_idx in plan:
+                if kind == "dense":
+                    li = k_idx
+                    inputs[li] = h
+                    np.matmul(h, W[li], out=zs[li])
+                    if b[li] is not None:
+                        zs[li] += b[li][:, None, :]
+                    if acts[li] is not None:
+                        if relu_like[li]:
+                            np.maximum(zs[li], 0.0, out=ys[li])
+                        else:
+                            ys[li][:] = acts[li][0](zs[li])
+                        h = ys[li]
                     else:
-                        ys[li][:] = acts[li][0](zs[li])
-                    h = ys[li]
+                        h = zs[li]
                 else:
-                    h = zs[li]
+                    pi = k_idx
+                    dmask = dms[pi]
+                    keep = drop_keep[pi]
+                    vals = drop_epoch[pi][:, s * batch_size : s * batch_size + width]
+                    np.copyto(dmask, vals < keep, casting="unsafe")
+                    if not full:
+                        dmask *= mask[:, :, None]  # padded rows draw no mask
+                    dmask /= keep
+                    np.multiply(h, dmask, out=dos[pi])
+                    h = dos[pi]
             logits = h
 
             # Softmax cross-entropy averaged over each client's true batch
             # size; the shared shifted-exponential pass yields probabilities
             # and log-probabilities bitwise identical to the ``softmax`` /
             # ``log_softmax`` pair the per-client loss uses.
-            denom = np.maximum(nb, 1).astype(np.float64)
+            denom: np.ndarray = meta["denom"]  # type: ignore[assignment]
             targets: np.ndarray = buf["t"]  # type: ignore[assignment]
             targets[:] = 0.0
-            targets[rows, np.arange(width)[None, :], yb] = mask.astype(np.float64)
+            targets[rows, meta["cols"], yb] = meta["maskf"]
             tmp: np.ndarray = buf["tmp"]  # type: ignore[assignment]
             np.subtract(logits, np.max(logits, axis=-1, keepdims=True), out=tmp)  # shifted
-            g_out = gs[n_layers - 1]
+            g_out = gs[n_dense - 1]
             np.exp(tmp, out=g_out)  # e
             norm = np.sum(g_out, axis=-1, keepdims=True)
             np.subtract(tmp, np.log(norm), out=tmp)  # log-probabilities
@@ -337,49 +666,70 @@ def train_clients_batched(
             np.divide(g_out, norm, out=g_out)  # probabilities
             g_out -= targets
             g_out /= denom[:, None, None]
-            g_out *= mask[:, :, None]
+            if not full:
+                g_out *= mask[:, :, None]
 
-            # Backward pass, accumulating per-layer gradients.
+            # Backward pass; per-layer gradients land in their GF plane views.
             g = g_out
-            for li in range(n_layers - 1, -1, -1):
+            for kind, k_idx in reversed(plan):
+                if kind == "drop":
+                    g *= dms[k_idx]
+                    continue
+                li = k_idx
                 if relu_like[li]:
                     g *= zs[li] > 0.0
                 elif acts[li] is not None:
                     g *= acts[li][1](zs[li], ys[li])
-                np.matmul(hs[li].transpose(0, 2, 1), g, out=gws[li])
+                np.matmul(inputs[li].transpose(0, 2, 1), g, out=gw_v[li])
                 if b[li] is not None:
-                    g.sum(axis=1, out=gbs[li])
-                if li > 0:
-                    np.matmul(g, W[li].transpose(0, 2, 1), out=gs[li - 1])
-                    g = gs[li - 1]
+                    g.sum(axis=1, out=gb_v[li])
+                if li == 0:
+                    break  # nothing trainable upstream of the first Dense
+                np.matmul(g, W[li].transpose(0, 2, 1), out=gs[li - 1])
+                g = gs[li - 1]
 
-            step_active = nb > 0
+            step_active: np.ndarray = meta["active"]  # type: ignore[assignment]
+            all_on: bool = meta["all_on"]  # type: ignore[assignment]
             if use_prox:
-                gate = (mu * step_active)[:, None, None]
-                sq = np.zeros(C)
-                for li in range(n_layers):
-                    dw = W[li] - globals_w[li][None]
-                    gws[li] += gate * dw
-                    sq += (dw * dw).sum(axis=(1, 2))
-                    if b[li] is not None:
-                        db = b[li] - globals_b[li][None]
-                        gbs[li] += gate[:, :, 0] * db
-                        sq += (db * db).sum(axis=1)
+                np.subtract(WF, gflat[None], out=U1)  # w - w_global
+                np.multiply(U1, U1, out=U2)
+                sq = U2.sum(axis=1)
+                U1 *= (mu * step_active)[:, None]
+                GF += U1
                 step_loss = step_loss + 0.5 * mu * sq
-            loss_sum += np.where(step_active, step_loss, 0.0)
+            if not all_on:
+                step_loss *= meta["activef"]  # inactive clients record no batch
+            loss_sum += step_loss
             n_batches += step_active
 
-            # Plain SGD; inactive clients have all-zero gradients.
-            for li in range(n_layers):
-                gws[li] *= lr3
-                W[li] -= gws[li]
-                if b[li] is not None:
-                    gbs[li] *= lr3[:, :, 0]
-                    b[li] -= gbs[li]
+            # Optimizer step: ONE fused update over the flat planes with
+            # per-client (C, 1) hyper-parameter broadcasts and active-row
+            # masking (rows whose client ran out of batches keep state).
+            act2 = None if all_on else meta["active2"]
+            if use_wd:
+                # ``Optimizer.step``: grad = grad + weight_decay * param.
+                np.multiply(WF, wd2, out=U1)
+                GF += U1
+            if family == "sgd":
+                if use_wd and act2 is not None:
+                    # Without decay inactive rows are exactly zero grads.
+                    GF *= act2
+                GF *= lr2
+                WF -= GF
+            elif family == "momentum":
+                _momentum_update(WF, VF, GF, U1, mom2, lr2, act2)
+            else:  # adam
+                k = _epoch * steps + s
+                _adam_update(
+                    WF, MF, VF, GF, U1, U2, U3,
+                    b1_2, omb1_2, b2_2, omb2_2, eps2, lr2,
+                    c1_tab[k][:, None], c2_tab[k][:, None], act2,
+                )
 
-    # Local evaluation of the trained weights on each client's own shard.
+    # Local evaluation of the trained weights on each client's own shard
+    # (training=False: Dropout is identity, exactly like ``model.evaluate``).
     h = X
-    for li in range(n_layers):
+    for li in range(n_dense):
         z = h @ W[li]
         if b[li] is not None:
             z += b[li][:, None, :]
@@ -387,15 +737,9 @@ def train_clients_batched(
     valid = np.arange(n_max)[None, :] < counts[:, None]
     correct = ((h.argmax(axis=-1) == Y) & valid).sum(axis=1)
 
-    # Flatten (trained - global) into the get_flat_weights layout.
-    parts = []
-    for li in range(n_layers):
-        for key in sorted(layers[li].params):
-            if key == "W":
-                parts.append((W[li] - globals_w[li][None]).reshape(C, -1))
-            else:
-                parts.append((b[li] - globals_b[li][None]).reshape(C, -1))
-    flat = np.concatenate(parts, axis=1)
+    # The parameter plane already IS the get_flat_weights layout (Dropout
+    # layers hold no parameters), so the deltas are one subtraction.
+    flat = WF - gflat[None]
     for ci, (i, _) in enumerate(active):
         deltas[i] = flat[ci]
         losses[i] = loss_sum[ci] / max(n_batches[ci], 1.0)
@@ -562,18 +906,29 @@ class FederatedEngine:
 
     # -- round execution -------------------------------------------------
     def _collect_deltas(self, contributors: Sequence[str]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Local training for the contributors: vectorized when supported."""
+        """Local training for the contributors: one vectorized sweep per
+        homogeneous cohort, per-client fallback for the rest."""
         clients = [self.clients[cid] for cid in contributors]
-        if vectorized_supported(self.global_model, clients):
-            return train_clients_batched(self.global_model, clients)
-        deltas = np.zeros((len(clients), self.global_model.get_flat_weights().size))
+        n_params = self.global_model.get_flat_weights().size
+        deltas = np.zeros((len(clients), n_params))
         losses = np.zeros(len(clients))
         accs = np.zeros(len(clients))
-        for i, client in enumerate(clients):
-            update = client.train_round(self.global_model)
-            deltas[i] = update.delta
-            losses[i] = update.local_loss
-            accs[i] = update.metrics.get("local_accuracy", 0.0)
+        for cohort in partition_cohorts(self.global_model, clients):
+            if cohort.kind == "idle":
+                continue  # zero-sample clients keep their zero rows
+            if cohort.batched:
+                sub = [clients[i] for i in cohort.indices]
+                d, l, a = train_clients_batched(self.global_model, sub)
+                idx = list(cohort.indices)
+                deltas[idx] = d
+                losses[idx] = l
+                accs[idx] = a
+            else:
+                for i in cohort.indices:
+                    update = clients[i].train_round(self.global_model)
+                    deltas[i] = update.delta
+                    losses[i] = update.local_loss
+                    accs[i] = update.metrics.get("local_accuracy", 0.0)
         return deltas, losses, accs
 
     def run_round(

@@ -7,11 +7,14 @@ aggregated delta → evaluate.  It accounts the bytes exchanged per round so
 experiment E6 can compare compression schemes.
 
 Round execution lives in :class:`~repro.federated.engine.FederatedEngine`:
-``run_round`` trains every selected client at once with stacked batched
-tensors (falling back to the per-client loop for unsupported models), while
-``run_round_legacy`` keeps the seed-era loop as the equivalence baseline.
-The server adds the client-facing extras — personalization and the
-centralized upper-bound baseline.
+``run_round`` buckets the selected clients into homogeneous cohorts
+(optimizer family × batch size × epochs, via
+:func:`~repro.federated.engine.partition_cohorts`) and trains each cohort
+in one stacked batched sweep — SGD, momentum and Adam clients, with or
+without Dropout — falling back to the per-client loop only for genuinely
+unreplayable configurations, while ``run_round_legacy`` keeps the seed-era
+loop as the equivalence baseline.  The server adds the client-facing
+extras — personalization and the centralized upper-bound baseline.
 """
 
 from __future__ import annotations

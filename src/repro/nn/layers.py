@@ -16,6 +16,7 @@ for image-like data and ``(batch, features)`` for dense data.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -253,6 +254,18 @@ class Dropout(Layer):
         keep = 1.0 - self.rate
         self._mask = (self._rng.random(x.shape) < keep) / keep
         return x * self._mask
+
+    def spawn_stream(self) -> np.random.Generator:
+        """Independent generator cloned at the current mask-stream position.
+
+        ``Sequential.clone`` pickles this layer (generator state included), so
+        every per-client model copy draws its masks from exactly this stream
+        position.  The vectorized federated trainer clones one stream per
+        client the same way, which keeps the batched replay mask-for-mask
+        identical to the per-client loop without advancing this layer's own
+        generator.
+        """
+        return copy.deepcopy(self._rng)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:

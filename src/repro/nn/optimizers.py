@@ -20,6 +20,11 @@ ParamGroup = Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Sequence[str]]
 class Optimizer:
     """Base optimizer.  Subclasses implement :meth:`update_param`."""
 
+    #: Names of the per-parameter state slots a fresh optimizer allocates
+    #: lazily on the first step.  The vectorized federated engine uses this
+    #: layout to stack the matching state tensors across a client cohort.
+    state_slots: Tuple[str, ...] = ()
+
     def __init__(self, lr: float = 0.01, weight_decay: float = 0.0) -> None:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
@@ -48,6 +53,14 @@ class Optimizer:
         """Snapshot of hyper-parameters (optimizer slots are rebuilt lazily)."""
         return {"lr": self.lr, "weight_decay": self.weight_decay, "iterations": self.iterations}
 
+    def hyperparams(self) -> Dict[str, float]:
+        """Fully-resolved hyper-parameters (defaults included).
+
+        The vectorized federated engine broadcasts these per client, so every
+        value an :meth:`update_param` implementation reads must appear here.
+        """
+        return {"lr": self.lr, "weight_decay": self.weight_decay}
+
 
 class SGD(Optimizer):
     """Vanilla stochastic gradient descent."""
@@ -59,10 +72,17 @@ class SGD(Optimizer):
 class Momentum(Optimizer):
     """SGD with classical momentum (Polyak heavy-ball)."""
 
+    state_slots = ("velocity",)
+
     def __init__(self, lr: float = 0.01, momentum: float = 0.9, weight_decay: float = 0.0) -> None:
         super().__init__(lr, weight_decay)
         self.momentum = float(momentum)
         self._velocity: Dict[str, np.ndarray] = {}
+
+    def hyperparams(self) -> Dict[str, float]:
+        out = super().hyperparams()
+        out["momentum"] = self.momentum
+        return out
 
     def update_param(self, slot: str, param: np.ndarray, grad: np.ndarray) -> None:
         v = self._velocity.get(slot)
@@ -76,6 +96,8 @@ class Momentum(Optimizer):
 
 class Adam(Optimizer):
     """Adam optimizer with bias correction."""
+
+    state_slots = ("m", "v", "t")
 
     def __init__(
         self,
@@ -92,6 +114,11 @@ class Adam(Optimizer):
         self._m: Dict[str, np.ndarray] = {}
         self._v: Dict[str, np.ndarray] = {}
         self._t: Dict[str, int] = {}
+
+    def hyperparams(self) -> Dict[str, float]:
+        out = super().hyperparams()
+        out.update({"beta1": self.beta1, "beta2": self.beta2, "eps": self.eps})
+        return out
 
     def update_param(self, slot: str, param: np.ndarray, grad: np.ndarray) -> None:
         m = self._m.get(slot)

@@ -19,6 +19,7 @@ from .quantization import (
     quantization_error,
     quantize_array,
     quantize_model,
+    static_fake_quantize,
 )
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "quantize_array",
     "dequantize_array",
     "fake_quantize",
+    "static_fake_quantize",
     "quantize_model",
     "quantization_error",
     "calibrate_activation_ranges",

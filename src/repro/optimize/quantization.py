@@ -21,6 +21,7 @@ __all__ = [
     "quantize_array",
     "dequantize_array",
     "fake_quantize",
+    "static_fake_quantize",
     "quantize_model",
     "quantization_error",
     "calibrate_activation_ranges",
@@ -105,6 +106,36 @@ def fake_quantize(x: np.ndarray, bits: int, symmetric: bool = True, per_channel:
         return out.reshape(x.shape)
     q, scale, zero = quantize_array(x, bits, symmetric)
     return dequantize_array(q, scale, zero)
+
+
+def static_fake_quantize(x: np.ndarray, bits: int, max_abs: float) -> np.ndarray:
+    """Symmetric fake quantization over a *frozen* (calibrated) range.
+
+    Uses exactly the grid of the dynamic-range activation quantizer
+    (:func:`repro.exchange.executor._fake_quantize`, symmetric scheme) but
+    with ``max_abs`` recorded on a calibration batch instead of derived from
+    the data being quantized.  That makes the op per-sample independent, so
+    a compiled plan can stack windows from many devices into one sweep
+    (:meth:`repro.exchange.CompiledExecutor.run_many`) without leaking
+    quantization statistics across windows.
+
+    Error contract versus the dynamic-range oracle: with ``scale =
+    max(max_abs / qmax, tiny)``, values with ``|x| <= max_abs`` round with
+    error at most ``scale / 2``; values outside the calibrated range clip to
+    ``+-qmax * scale``.  When ``max_abs`` equals the batch's own max the
+    result is bit-identical to the dynamic quantizer.
+    """
+    if bits >= 32:
+        return np.asarray(x, dtype=np.float64)
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    x = np.asarray(x, dtype=np.float64)
+    tiny = np.finfo(np.float64).tiny
+    qmax = 2 ** (bits - 1) - 1 if bits > 1 else 1
+    max_abs = float(max_abs)
+    scale = max(max_abs / qmax, tiny) if max_abs > 0 else 1.0
+    q = np.clip(np.round(x / scale), -qmax - (0 if bits == 1 else 1), qmax)
+    return q * scale
 
 
 def quantize_model(model, config: QuantizationConfig, name_suffix: Optional[str] = None):

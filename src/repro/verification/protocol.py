@@ -7,6 +7,11 @@ verifier then checks the transcript without redoing the full computation:
 
 * dense layers (the dominant cost) are verified with Freivalds' randomized
   matrix-product check — O(n²) instead of O(n³);
+* convolution layers are lowered to the same ``(A, B, C)`` GEMM triples the
+  compiled plan records for :func:`repro.verification.verify_compiled_run`
+  (``A`` = im2col column matrix of the claimed layer input, ``B`` = the
+  kernel in GEMM form, ``C`` = the claimed pre-bias output) and
+  Freivalds-checked too — no direct convolution recompute remains;
 * element-wise activations and other cheap ops are recomputed directly
   (their cost is negligible);
 * the weights used are checked against the registered Merkle root via spot
@@ -26,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn import activations as A
-from repro.nn.layers import Activation, BatchNorm, Dense, Dropout, Flatten
+from repro.nn.layers import Activation, BatchNorm, Conv2D, Dense, Dropout, Flatten, im2col
 
 from .commitments import MerkleTree, commit_model_weights
 from .freivalds import FreivaldsVerifier
@@ -88,6 +93,14 @@ class VerifiableExecutor:
         )
 
 
+def _matches(expected: np.ndarray, claimed: np.ndarray, atol: float = 1e-5) -> bool:
+    """allclose with a shape guard (malformed transcripts must be flagged,
+    not crash the verifier with a broadcast error)."""
+    expected = np.asarray(expected)
+    claimed = np.asarray(claimed)
+    return expected.shape == claimed.shape and bool(np.allclose(expected, claimed, atol=atol))
+
+
 class TranscriptVerifier:
     """Verifier side: check a transcript against the registered model."""
 
@@ -96,9 +109,48 @@ class TranscriptVerifier:
         self.expected_root = expected_root
         self.freivalds = FreivaldsVerifier(n_trials=n_trials, seed=seed)
 
+    def _verify_conv(self, i: int, layer: Conv2D, current: np.ndarray, claimed: np.ndarray) -> List[str]:
+        """Freivalds-check a Conv2D layer via its im2col GEMM triple.
+
+        Builds exactly the record the compiled plan hands to
+        :func:`repro.verification.verify_compiled_run`: ``A`` = the im2col
+        column matrix of the claimed layer input, ``B`` = the kernel in GEMM
+        form ``(k*k*c_in, filters)``, ``C`` = the claimed pre-bias product —
+        checked in O(rows·cols) projections instead of recomputed in
+        O(rows·cols·filters).  Convs with a fused activation cannot expose
+        their pre-activation product in the transcript, so (exactly like the
+        fused-Dense contract above) the activation output is recomputed from
+        the implied pre-activation instead.
+        """
+        k, stride, pad = layer.kernel_size, layer.stride, layer._pad_amount()
+        x = np.asarray(current, dtype=np.float64)
+        if x.ndim != 4:
+            return [f"layer {i} ({layer.name}): conv input rank {x.ndim} is not NHWC"]
+        cols, out_h, out_w = im2col(x, k, k, stride, pad)
+        expected_shape = (x.shape[0], out_h, out_w, layer.filters)
+        claimed = np.asarray(claimed, dtype=np.float64)
+        if claimed.shape != expected_shape:
+            return [f"layer {i} ({layer.name}): claimed shape {claimed.shape} != {expected_shape}"]
+        wmat = layer.params["W"].reshape(-1, layer.filters)
+        if layer.activation_name:
+            z = cols @ wmat
+            if layer.use_bias:
+                z = z + layer.params["b"]
+            fn, _ = A.get_activation(layer.activation_name)
+            if not _matches(fn(z.reshape(expected_shape)), claimed):
+                return [f"layer {i} ({layer.name}): activation output mismatch"]
+            return []
+        target = claimed.reshape(-1, layer.filters)
+        if layer.use_bias:
+            target = target - layer.params["b"]
+        if not self.freivalds.verify(cols, wmat, target):
+            return [f"layer {i} ({layer.name}): Freivalds check failed"]
+        return []
+
     def verify(self, transcript: ExecutionTranscript) -> Dict[str, object]:
         """Verify a transcript; returns a report with validity and timing."""
         start = time.perf_counter()
+        checks_before = self.freivalds.checks_performed
         issues: List[str] = []
         if self.expected_root is not None and transcript.weight_root != self.expected_root:
             issues.append("weight commitment does not match the registered model")
@@ -122,23 +174,25 @@ class TranscriptVerifier:
                             z = z + layer.params["b"]
                         fn, _ = A.get_activation(layer.activation_name)
                         expected = fn(z)
-                        if not np.allclose(expected, claimed, atol=1e-5):
+                        if not _matches(expected, claimed):
                             issues.append(f"layer {i} ({layer.name}): activation output mismatch")
                     else:
                         target = claimed - layer.params["b"] if layer.use_bias else claimed
                         if not self.freivalds.verify(current, layer.params["W"], target):
                             issues.append(f"layer {i} ({layer.name}): Freivalds check failed")
+                elif isinstance(layer, Conv2D):
+                    issues.extend(self._verify_conv(i, layer, current, claimed))
                 elif isinstance(layer, (Activation, BatchNorm, Flatten, Dropout)):
                     expected = layer.forward(current, training=False)
-                    if not np.allclose(expected, claimed, atol=1e-5):
+                    if not _matches(expected, claimed):
                         issues.append(f"layer {i} ({layer.name}): recomputation mismatch")
                 else:
-                    # Convolutional and pooling layers: recompute directly (still
-                    # cheaper than the prover when batch sizes are large, and
-                    # exact); a production system would extend Freivalds to the
-                    # im2col matrices instead.
+                    # Depthwise convolutions (k*k tap accumulation, no single
+                    # GEMM form) and pooling layers: recompute directly —
+                    # their cost is a small fraction of the standard convs
+                    # now covered by the Freivalds GEMM check.
                     expected = layer.forward(current, training=False)
-                    if not np.allclose(expected, claimed, atol=1e-5):
+                    if not _matches(expected, claimed):
                         issues.append(f"layer {i} ({layer.name}): recomputation mismatch")
                 current = claimed
         verify_time = time.perf_counter() - start
@@ -150,4 +204,5 @@ class TranscriptVerifier:
             "overhead_ratio": verify_time / max(transcript.prove_time_s, 1e-12),
             "transcript_bytes": transcript.transcript_bytes(),
             "soundness_error": self.freivalds.soundness_error,
+            "freivalds_checked_gemms": self.freivalds.checks_performed - checks_before,
         }

@@ -161,6 +161,7 @@ class TestRunMany:
         for w, out in zip(windows, outs):
             np.testing.assert_allclose(out, ref.run(w), atol=1e-9, rtol=1e-9)
 
+
     def test_chunked_run_equals_single_batch(self):
         model = make_mlp(8, 3, hidden=(6,), seed=11)
         graph = from_sequential(model)
@@ -197,6 +198,102 @@ class TestRunMany:
         assert len(gemms) == plan.n_gemm_steps == 3  # conv + 2 dense
         for a, b, c in gemms:
             np.testing.assert_allclose(a @ b, c, atol=1e-9, rtol=1e-9)
+
+
+class TestActivationCalibration:
+    """Satellite: calibrated static-range activation quantization makes
+    ``activation_bits`` / ``quantize`` graphs stackable in ``run_many``."""
+
+    def _quant_graph(self, **quant):
+        model = make_tiny_cnn((10, 10, 1), 4, filters=(4,), dense_width=8, seed=7)
+        lowered = PassPipeline.standard_inference().run(from_sequential(model))
+        return annotate_quantization(lowered, **quant)
+
+    def test_calibration_batch_reproduces_dynamic_oracle_bitwise(self):
+        """Static ranges recorded on X equal X's own dynamic ranges, so the
+        calibrated plan is bit-identical to the dynamic plan on X."""
+        graph = self._quant_graph(bits=8, activation_bits=8)
+        x = RNG.normal(size=(12, 10, 10, 1))
+        dynamic = CompiledExecutor(graph).run(x)
+        calibrated = CompiledExecutor(graph, calibration_data=x)
+        assert calibrated.stacking_exact
+        assert len(calibrated.quant_sites) == 3  # conv + 2 dense
+        assert set(calibrated.activation_ranges) == set(calibrated.quant_sites)
+        np.testing.assert_array_equal(calibrated.run(x), dynamic)
+
+    def test_calibrated_run_many_stacks_exactly(self):
+        graph = self._quant_graph(bits=8, activation_bits=8)
+        cal = RNG.normal(size=(32, 10, 10, 1))
+        plan = CompiledExecutor(graph, calibration_data=cal)
+        windows = [RNG.normal(size=(n, 10, 10, 1)) for n in (3, 1, 5, 2)]
+        outs = plan.run_many(windows)
+        # Stacked execution must equal per-window static execution exactly —
+        # no quantization statistics leak across windows any more.
+        for w, out in zip(windows, outs):
+            np.testing.assert_array_equal(out, plan.run(w))
+
+    def test_static_vs_dynamic_error_bound(self):
+        """Documented bound for one quant site: with a calibration range R
+        covering the batch's own range M, each quantizer rounds with at most
+        half its step, so |static(x) - dynamic(x)| <= (R + M) / (2 * qmax)
+        elementwise (no clipping occurs when R >= M)."""
+        from repro.optimize.quantization import static_fake_quantize
+
+        x = RNG.normal(size=5000) * 3.0
+        batch_max = float(np.abs(x).max())
+        qmax = 2**7 - 1
+        for calibrated_range in (batch_max, 1.5 * batch_max, 4.0 * batch_max):
+            static = static_fake_quantize(x, 8, calibrated_range)
+            dynamic = _fake_quantize(x, 8)
+            bound = (calibrated_range + batch_max) / (2.0 * qmax) + 1e-12
+            assert np.max(np.abs(static - dynamic)) <= bound
+        # Exactly-covering calibration is bit-identical to the dynamic path.
+        np.testing.assert_array_equal(static_fake_quantize(x, 8, batch_max), _fake_quantize(x, 8))
+        # Out-of-range values clip to the calibrated grid's edges
+        # (asymmetric signed grid: +qmax vs -(qmax+1) codes).
+        narrow = static_fake_quantize(x, 8, batch_max / 2.0)
+        scale = batch_max / 2.0 / qmax
+        assert np.max(narrow) <= qmax * scale + 1e-12
+        assert np.min(narrow) >= -(qmax + 1) * scale - 1e-12
+
+    def test_quantize_node_graph_stackable_after_calibration(self):
+        nodes = [
+            GraphNode("mul", "mul", {"constant": 2.0}),
+            GraphNode("quant", "quantize", {"bits": 8}),
+        ]
+        graph = GraphIR(nodes, (5,))
+        cal = RNG.normal(size=(64, 5))
+        plan = CompiledExecutor(graph, calibration_data=cal)
+        assert plan.stacking_exact and plan.quant_sites == ["quant"]
+        np.testing.assert_array_equal(plan.run(cal), CompiledExecutor(graph).run(cal))
+        windows = [RNG.normal(size=(n, 5)) for n in (2, 4)]
+        for w, out in zip(windows, plan.run_many(windows)):
+            np.testing.assert_array_equal(out, plan.run(w))
+
+    def test_unquantized_graph_calibration_is_noop(self):
+        model = make_mlp(6, 3, hidden=(8,), seed=2)
+        plan = CompiledExecutor(from_sequential(model))
+        assert plan.calibrate_activations(RNG.normal(size=(4, 6))) == {}
+        assert plan.stacking_exact
+
+    def test_empty_calibration_batch_rejected(self):
+        graph = self._quant_graph(bits=8, activation_bits=8)
+        with pytest.raises(ValueError, match="calibration batch"):
+            CompiledExecutor(graph, calibration_data=np.empty((0, 10, 10, 1)))
+
+    def test_fleet_executor_calibration_passthrough(self):
+        base = make_mlp(8, 4, hidden=(12,), seed=13)
+        lowered = PassPipeline.standard_inference().run(from_sequential(base))
+        graphs = {
+            "fp32": lowered,
+            "int8-act": annotate_quantization(lowered, bits=8, activation_bits=8),
+        }
+        cal = RNG.normal(size=(32, 8))
+        fleet = FleetExecutor.from_graphs(graphs, calibration_data=cal)
+        assert fleet.plans["int8-act"].stacking_exact
+        inputs = {"a": RNG.normal(size=(3, 8)), "b": RNG.normal(size=(2, 8))}
+        outputs = fleet.run_fleet({"a": "int8-act", "b": "fp32"}, inputs)
+        np.testing.assert_array_equal(outputs["a"], fleet.plans["int8-act"].run(inputs["a"]))
 
 
 class TestFleetExecutor:

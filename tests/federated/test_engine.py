@@ -17,6 +17,7 @@ from repro.federated import (
     RoundScenario,
     TrimmedMeanAggregator,
     get_compressor,
+    partition_cohorts,
     vectorized_supported,
 )
 from repro.nn import make_mlp
@@ -109,17 +110,46 @@ class TestVectorizedEquivalence:
     def test_unsupported_model_falls_back_to_per_client_loop(self, task):
         train, test = task
         clients = _clients(train)
-        model = make_mlp(12, 4, hidden=(16,), dropout=0.2, seed=0)  # Dropout layer -> unsupported
-        assert not vectorized_supported(model, clients)
+
+        def model():  # BatchNorm in the stack -> genuinely unsupported
+            from repro.nn.layers import BatchNorm, Dense
+            from repro.nn.model import Sequential
+
+            return Sequential(
+                [Dense(16, activation="relu"), BatchNorm(), Dense(4)], input_shape=(12,), seed=0
+            )
+
+        assert not vectorized_supported(model(), clients)
+        cohorts = partition_cohorts(model(), clients)
+        assert [c.kind for c in cohorts] == ["fallback"]
+        vec = FederatedEngine(model(), clients, eval_data=(test.x, test.y))
+        leg = FederatedEngine(model(), clients, eval_data=(test.x, test.y))
+        _assert_rounds_equal(vec.run_round(0), leg.run_round_legacy(0))
+
+    def test_dropout_model_is_vectorized(self, task):
+        """Dropout stacks batch since PR 5 (exact per-client mask streams)."""
+        train, test = task
+        clients = _clients(train)
+        model = make_mlp(12, 4, hidden=(16,), dropout=0.2, seed=0)
+        assert vectorized_supported(model, clients)
         vec = FederatedEngine(model, clients, eval_data=(test.x, test.y))
         leg = FederatedEngine(make_mlp(12, 4, hidden=(16,), dropout=0.2, seed=0), clients, eval_data=(test.x, test.y))
         _assert_rounds_equal(vec.run_round(0), leg.run_round_legacy(0))
+        np.testing.assert_allclose(
+            vec.global_model.get_flat_weights(), leg.global_model.get_flat_weights(), atol=1e-9
+        )
 
-    def test_mixed_optimizers_fall_back(self, task):
+    def test_mixed_optimizers_split_into_batched_cohorts(self, task):
         train, _ = task
         clients = _clients(train)
         clients[0].optimizer_name = "adam"
-        assert not vectorized_supported(make_mlp(12, 4, seed=0), clients)
+        model = make_mlp(12, 4, seed=0)
+        # No longer a single sweep, but no scalar fallback either: one
+        # batched cohort per optimizer family.
+        assert not vectorized_supported(model, clients)
+        cohorts = partition_cohorts(model, clients)
+        assert all(c.batched for c in cohorts)
+        assert sorted(c.key[0] for c in cohorts) == ["adam", "sgd"]
 
     def test_server_facade_delegates_to_engine(self, task):
         train, test = task

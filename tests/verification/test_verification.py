@@ -115,6 +115,46 @@ class TestTranscriptProtocol:
         report = TranscriptVerifier(trained_mlp, seed=0).verify(transcript)
         assert not report["valid"]
 
+    def test_honest_cnn_transcript_verifies_via_conv_gemms(self, trained_cnn, digits):
+        """Conv layers are Freivalds-checked from their im2col GEMM triples
+        (the same records verify_compiled_run checks) — the verifier no
+        longer re-executes standard convolutions."""
+        _, test = digits
+        executor = VerifiableExecutor(trained_cnn, seed=0)
+        transcript = executor.execute(test.x[:8])
+        report = TranscriptVerifier(trained_cnn, expected_root=executor.weight_root, seed=0).verify(transcript)
+        assert report["valid"], report["issues"]
+        # dense layers + activation-free conv layers all go through Freivalds
+        n_conv = sum(1 for l in trained_cnn.layers if type(l).__name__ == "Conv2D" and not l.activation_name)
+        n_dense = sum(
+            1 for l in trained_cnn.layers if type(l).__name__ == "Dense" and not l.activation_name
+        )
+        assert report["freivalds_checked_gemms"] == n_conv + n_dense > 0
+
+    def test_tampered_conv_output_rejected_by_freivalds(self, trained_cnn, digits):
+        """An adversarial single-entry edit of a conv layer's output must be
+        caught by the randomized GEMM check, not just downstream layers."""
+        _, test = digits
+        executor = VerifiableExecutor(trained_cnn, seed=0)
+        transcript = executor.execute(test.x[:8])
+        conv_idx = next(
+            i for i, l in enumerate(trained_cnn.layers) if type(l).__name__ == "Conv2D" and not l.activation_name
+        )
+        transcript.layer_outputs[conv_idx][0, 0, 0, 0] += 1e-2
+        report = TranscriptVerifier(trained_cnn, expected_root=executor.weight_root, seed=0).verify(transcript)
+        assert not report["valid"]
+        assert any("Freivalds" in issue and f"layer {conv_idx}" in issue for issue in report["issues"])
+
+    def test_conv_shape_mismatch_flagged(self, trained_cnn, digits):
+        _, test = digits
+        executor = VerifiableExecutor(trained_cnn, seed=0)
+        transcript = executor.execute(test.x[:4])
+        conv_idx = next(i for i, l in enumerate(trained_cnn.layers) if type(l).__name__ == "Conv2D")
+        transcript.layer_outputs[conv_idx] = transcript.layer_outputs[conv_idx][:, :-1]
+        report = TranscriptVerifier(trained_cnn, expected_root=executor.weight_root, seed=0).verify(transcript)
+        assert not report["valid"]
+        assert any("shape" in issue for issue in report["issues"])
+
 
 class TestSimulatedEnclave:
     def test_all_inside_overhead_matches_slowdown(self, trained_mlp, blobs):
