@@ -93,7 +93,7 @@ def test_e4_edge_monitor_throughput(benchmark, drift_setup):
     benchmark.extra_info["windows_per_call"] = 10
 
 
-def _monitor_fleet(reference, ref_preds, n_devices, batched):
+def _monitor_fleet(reference, ref_preds, n_devices, engine):
     return {
         f"dev-{i}": EdgeMonitor(
             f"dev-{i}",
@@ -101,7 +101,7 @@ def _monitor_fleet(reference, ref_preds, n_devices, batched):
             reference_predictions=ref_preds,
             num_classes=4,
             detectors=("ks", "psi"),
-            batched=batched,
+            engine=engine,
         )
         for i in range(n_devices)
     }
@@ -145,16 +145,16 @@ def test_e4_batched_monitoring_speedup(benchmark, smoke_mode):
         # Warm both paths so one-time costs (reference sorting, imports)
         # don't skew the ratio.
         warm_traffic = _fleet_traffic(4, 1, 8, n_features, seed=9)
-        for batched in (True, False):
-            warm = _monitor_fleet(reference, ref_preds, 4, batched)
-            if batched:
+        for eng in ("batched", "oracle"):
+            warm = _monitor_fleet(reference, ref_preds, 4, eng)
+            if eng == "batched":
                 FleetMonitor(warm).observe_fleet(*warm_traffic[0][:1], predictions=warm_traffic[0][1])
             else:
                 for d, x in warm_traffic[0][0].items():
                     warm[d].observe_window(x, predictions=warm_traffic[0][1][d])
 
-        fleet_side = _monitor_fleet(reference, ref_preds, n_devices, batched=True)
-        legacy_side = _monitor_fleet(reference, ref_preds, n_devices, batched=False)
+        fleet_side = _monitor_fleet(reference, ref_preds, n_devices, engine="batched")
+        legacy_side = _monitor_fleet(reference, ref_preds, n_devices, engine="oracle")
         fm = FleetMonitor(fleet_side)
         t0 = time.perf_counter()
         for windows, preds, lats in traffic:

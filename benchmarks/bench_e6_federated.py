@@ -134,7 +134,7 @@ def test_e6_vectorized_engine_speedup(benchmark, smoke_mode):
         # Warm both paths first so one-time costs don't skew the ratio.
         _engine_world(n_clients=10).run_round(0)
         warm = _engine_world(n_clients=10)
-        warm.run_round_legacy(0)
+        warm.run_round(0, engine="oracle")
         eng_v, eng_l = _engine_world(), _engine_world()
         t0 = time.perf_counter()
         for r in range(n_rounds):
@@ -142,7 +142,7 @@ def test_e6_vectorized_engine_speedup(benchmark, smoke_mode):
         t_vec = time.perf_counter() - t0
         t0 = time.perf_counter()
         for r in range(n_rounds):
-            eng_l.run_round_legacy(r)
+            eng_l.run_round(r, engine="oracle")
         t_legacy = time.perf_counter() - t0
         w_vec = eng_v.global_model.get_flat_weights()
         w_legacy = eng_l.global_model.get_flat_weights()
@@ -219,7 +219,7 @@ def test_e6_mixed_config_engine_speedup(benchmark, smoke_mode):
         # Warm both paths so one-time costs don't skew the ratio.
         world.run_round(0)
         warm = _mixed_engine_world(n_clients=10)
-        warm.run_round_legacy(0)
+        warm.run_round(0, engine="oracle")
 
         best = {"speedup": 0.0}
         for _rep in range(3):
@@ -230,7 +230,7 @@ def test_e6_mixed_config_engine_speedup(benchmark, smoke_mode):
             t_vec = time.perf_counter() - t0
             t0 = time.perf_counter()
             for r in range(n_rounds):
-                eng_l.run_round_legacy(r)
+                eng_l.run_round(r, engine="oracle")
             t_legacy = time.perf_counter() - t0
             w_vec = eng_v.global_model.get_flat_weights()
             w_legacy = eng_l.global_model.get_flat_weights()

@@ -29,13 +29,20 @@ the floating-point caveat on :meth:`~repro.devices.Battery.draw_batch`.)
 :meth:`ServingEngine.serve_fleet` drives an entire fleet through one or
 more traffic windows (see :mod:`repro.core.traffic` for scenario
 generators) and returns a fleet-level report.  By default it runs the
-**fleet sweep**: per-device admission stays O(1) per device, but all
-admitted windows of a (model, window) pair execute through *one*
-compiled-plan :meth:`~repro.exchange.CompiledExecutor.run_many` call and
-all served slices feed *one*
-:meth:`~repro.observability.FleetMonitor.observe_fleet` drift sweep —
-instead of one ``plan.run`` + ``observe_window`` pair per device.
-``batched=False`` keeps the per-device loop as the reference oracle.
+**fleet sweep**: battery admission for the whole window is *one*
+:meth:`~repro.devices.FleetState.draw_batch_rows` sweep over the fleet's
+columnar store (quota metering stays per-device — the MAC chain is
+inherently sequential), all admitted slices of a (model, window) pair
+execute through *one* compiled-plan
+:meth:`~repro.exchange.CompiledExecutor.run_many` call, and all served
+slices feed *one* :meth:`~repro.observability.FleetMonitor.observe_fleet`
+drift sweep — instead of one ``plan.run`` + ``observe_window`` pair per
+device.
+
+Engine convention (see :mod:`repro.dispatch`): ``serve_fleet`` takes
+``engine="batched"`` (default, the fleet sweep) or ``engine="oracle"``
+(the per-device :meth:`serve_batch` loop kept as the reference); the old
+``batched=`` boolean keyword still works as a deprecated alias.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ import numpy as np
 
 from repro.billing import QuotaExceededError, UsageLedger
 from repro.devices import CostModel, Fleet
+from repro.dispatch import ENGINE_BATCHED, resolve_engine
 from repro.observability import EdgeMonitor, FleetMonitor
 
 __all__ = ["ServeResult", "FleetServeReport", "ServingEngine"]
@@ -143,6 +151,10 @@ class ServingEngine:
         # model path untouched.
         self.plans: MutableMapping[str, object] = plans if plans is not None else {}
         self._plan_options: Dict[str, tuple] = {}
+        # Per-model inference-cost cache for the fleet sweep, keyed by
+        # (profile, bits); invalidated when the model object for a name is
+        # replaced (cost depends on architecture, not weights).
+        self._cost_cache: Dict[str, Tuple[object, Dict[tuple, object]]] = {}
         # Fleet-monitor cache for serve_fleet: rebuilt whenever the set of
         # monitor objects changes (e.g. a re-deploy replaced a monitor).
         self._fleet_monitor_cache: Optional[Tuple[tuple, FleetMonitor]] = None
@@ -231,15 +243,19 @@ class ServingEngine:
         Kept as the oracle for equivalence tests and as the baseline the
         batched-serving benchmark measures its speedup against.  Applies the
         same served-slice monitoring fix as :meth:`serve_batch` so both
-        paths feed identical windows to the drift detectors.
+        paths feed identical windows to the drift detectors.  Quota is
+        metered per query; the battery stage goes through
+        :meth:`~repro.devices.EdgeDevice.execute_batch` with ``exact=True``
+        — the iterated-subtraction semantics, bit-identical to the paper's
+        per-query draws (quota exhaustion is a prefix, so hoisting the
+        battery stage out of the loop changes nothing).
         """
         device = self.fleet.get(device_id)
         model = self.models[model_name]
         ledger = self.ledgers.get(device_id)
         monitor = self.monitors.get(device_id)
-        served = 0
+        granted = 0
         denied = 0
-        battery_failures = 0
         cost = self.cost_model.model_inference_cost(device.profile, model, bits=bits)
         for _ in range(x.shape[0]):
             if ledger is not None:
@@ -248,10 +264,9 @@ class ServingEngine:
                 except QuotaExceededError:
                     denied += 1
                     continue
-            if not device.execute(cost, record=False):
-                battery_failures += 1
-                continue
-            served += 1
+            granted += 1
+        served = device.execute_batch(cost, granted, record=False, exact=True)
+        battery_failures = granted - served
         if monitor is not None and served:
             preds = model.predict_classes(x[:served])
             monitor.observe_window(
@@ -279,36 +294,79 @@ class ServingEngine:
             self._fleet_monitor_cache = (key, FleetMonitor(self.monitors))
         return self._fleet_monitor_cache[1]
 
+    def _window_costs(self, model_name: str, model) -> Dict[tuple, object]:
+        """Per-(profile, bits) inference-cost cache for one deployed model."""
+        cached = self._cost_cache.get(model_name)
+        if cached is None or cached[0] is not model:
+            cached = (model, {})
+            self._cost_cache[model_name] = cached
+        return cached[1]
+
     def _serve_fleet_window(
         self, model_name: str, window: Mapping[str, np.ndarray], report: FleetServeReport, bits: int
     ) -> None:
-        """Serve one fleet-wide window with one prediction + one drift sweep.
+        """Serve one fleet-wide window with one battery + prediction + drift sweep.
 
         Admission (quota then battery) is the same two-stage prefix filter
-        :meth:`serve_batch` applies, run per device in window order so
-        ledger and battery state match the per-device loop exactly.  The
-        served slices of every monitored device then flow through one
-        compiled-plan ``run_many`` sweep (the plan falls back to per-window
-        execution internally when its kernels are not stacking-exact) and
-        one :meth:`FleetMonitor.observe_fleet` drift sweep.  Without a
-        compiled plan predictions stay per-device, preserving the oracle's
-        per-window ``nn`` forwards.
+        :meth:`serve_batch` applies.  Quota metering stays a per-device loop
+        in window order (each ledger's MAC chain is sequential), but battery
+        admission for every device in the window is one
+        :meth:`~repro.devices.FleetState.draw_batch_rows` sweep over the
+        fleet's columnar store — the per-row arithmetic is exactly
+        :meth:`~repro.devices.Battery.draw_batch`, so admission decisions
+        and resulting battery levels match the object loop bit for bit.
+        Inference costs are cached per (model, profile, bits): a window over
+        10k devices of 6 profiles computes 6 costs, not 10k.  The served
+        slices of every monitored device then flow through one compiled-plan
+        ``run_many`` sweep (the plan falls back to per-window execution
+        internally when its kernels are not stacking-exact) and one
+        :meth:`FleetMonitor.observe_fleet` drift sweep.  Without a compiled
+        plan predictions stay per-device, preserving the oracle's per-window
+        ``nn`` forwards.
         """
         model = self.models[model_name]
         plan = self.plans.get(model_name)
-        # (device_id, window, requested, cost, granted, served) per device.
-        admitted: List[tuple] = []
+        costs_by_profile = self._window_costs(model_name, model)
+        state = self.fleet.state
+        # Parallel lists: device_id, row, window, requested, cost, granted.
+        ids: List[str] = []
+        rows: List[int] = []
+        xs: List[np.ndarray] = []
+        ns: List[int] = []
+        costs: List[object] = []
+        granteds: List[int] = []
         for device_id, x in window.items():
             x = np.asarray(x)
             if x.shape[0] == 0:
                 continue
-            device = self.fleet.get(device_id)
+            row = self.fleet.row_of(device_id)
+            profile = state.profile_at(row)
+            cost = costs_by_profile.get((profile, bits))
+            if cost is None:
+                cost = self.cost_model.model_inference_cost(profile, model, bits=bits)
+                costs_by_profile[(profile, bits)] = cost
             ledger = self.ledgers.get(device_id)
             n = int(x.shape[0])
-            cost = self.cost_model.model_inference_cost(device.profile, model, bits=bits)
             granted = ledger.record_batch(model_name, n) if ledger is not None else n
-            served = device.execute_batch(cost, granted, record=False)
-            admitted.append((device_id, x, n, cost, granted, served))
+            ids.append(device_id)
+            rows.append(row)
+            xs.append(x)
+            ns.append(n)
+            costs.append(cost)
+            granteds.append(granted)
+        if not ids:
+            return
+        row_arr = np.asarray(rows, dtype=np.intp)
+        served_arr = state.draw_batch_rows(
+            row_arr,
+            np.array([c.energy_j for c in costs], dtype=np.float64),
+            np.asarray(granteds, dtype=np.int64),
+        )
+        state.query_count[row_arr] += served_arr
+        admitted = [
+            (device_id, x, n, cost, granted, int(served))
+            for device_id, x, n, cost, granted, served in zip(ids, xs, ns, costs, granteds, served_arr)
+        ]
         # One prediction sweep over every monitored device's served slice.
         monitored = [
             (device_id, x[:served], cost, served)
@@ -347,7 +405,8 @@ class ServingEngine:
         self,
         model_name: str,
         traffic: Union[Mapping[str, np.ndarray], Iterable[Mapping[str, np.ndarray]]],
-        batched: bool = True,
+        engine: Optional[str] = None,
+        batched: Optional[bool] = None,
     ) -> FleetServeReport:
         """Drive the whole fleet through one window — or a scenario of windows.
 
@@ -356,13 +415,16 @@ class ServingEngine:
         output of a :mod:`repro.core.traffic` generator.  Devices mapped to
         empty arrays are skipped.
 
-        With ``batched`` (the default) each window is served by
-        :meth:`_serve_fleet_window` — one compiled-plan sweep and one fleet
-        drift sweep per (model, window).  ``batched=False`` keeps the
-        per-device :meth:`serve_batch` loop as the reference oracle; both
-        paths produce identical reports, ledger/battery state and monitor
-        histories.
+        With ``engine="batched"`` (the default) each window is served by
+        :meth:`_serve_fleet_window` — one columnar battery-admission sweep,
+        one compiled-plan sweep and one fleet drift sweep per
+        (model, window).  ``engine="oracle"`` keeps the per-device
+        :meth:`serve_batch` loop as the reference; both paths produce
+        identical reports, ledger/battery state and monitor histories.  The
+        boolean ``batched=`` keyword is a deprecated alias
+        (:mod:`repro.dispatch`).
         """
+        engine = resolve_engine(engine, batched, owner="ServingEngine.serve_fleet")
         windows: Iterable[Mapping[str, np.ndarray]]
         if isinstance(traffic, Mapping):
             windows = [traffic]
@@ -371,7 +433,7 @@ class ServingEngine:
         report = FleetServeReport(model_name=model_name)
         for window in windows:
             report.n_windows += 1
-            if batched:
+            if engine == ENGINE_BATCHED:
                 self._serve_fleet_window(model_name, window, report, bits=32)
             else:
                 for device_id, x in window.items():

@@ -13,6 +13,7 @@ from .profiles import (
     list_profiles,
     random_fleet_profiles,
 )
+from .state import BatteryView, FleetState
 
 __all__ = [
     "Battery",
@@ -35,4 +36,6 @@ __all__ = [
     "get_profile",
     "list_profiles",
     "random_fleet_profiles",
+    "BatteryView",
+    "FleetState",
 ]

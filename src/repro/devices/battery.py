@@ -101,7 +101,7 @@ class Battery:
         self.level_j = 0.0
         return False
 
-    def draw_batch(self, energy_j: float, n: int) -> int:
+    def draw_batch(self, energy_j: float, n: int, exact: bool = False) -> int:
         """Consume energy for up to ``n`` executions at once; returns how many fit.
 
         Closed-form equivalent of ``n`` successive :meth:`draw` calls: the
@@ -120,6 +120,12 @@ class Battery:
         differ by one (e.g. ``level=1.0, energy=0.1``: the loop admits 10,
         ``1.0 // 0.1`` is 9).  The batched path is canonical — the platform
         serves exclusively through it, so admission is self-consistent.
+
+        ``exact=True`` selects the iterated-subtraction semantics instead:
+        the result (count and level) is bit-identical to ``n`` successive
+        :meth:`draw` calls for *any* energy, at O(served) cost.  Oracle paths
+        (``engine="oracle"``) use this so equivalence suites compare against
+        the loop semantics without special-casing the boundary.
         """
         if energy_j < 0:
             raise ValueError("energy draw must be non-negative")
@@ -129,6 +135,14 @@ class Battery:
             return 0
         if self.plugged_in or self.capacity_j == float("inf") or energy_j == 0.0:
             return n
+        if exact:
+            level = self.level_j
+            served = 0
+            while served < n and level >= energy_j:
+                level -= energy_j
+                served += 1
+            self.level_j = level if served == n else 0.0
+            return served
         fits = int(self.level_j // energy_j) if self.level_j >= energy_j else 0
         if fits >= n:
             self.level_j = max(0.0, self.level_j - n * energy_j)

@@ -1,15 +1,26 @@
 """Edge device runtime state and fleet construction.
 
-A :class:`EdgeDevice` combines a static :class:`DeviceProfile` with dynamic
+An :class:`EdgeDevice` combines a static :class:`DeviceProfile` with dynamic
 state: battery level, current network condition, installed model artifacts,
-local query counters and telemetry hooks.  A :class:`Fleet` is simply a
-collection of devices with helpers for sampling heterogeneous populations
-and iterating over devices matching a predicate (e.g. "currently on WiFi
-and charging" — the federated-client eligibility rule from Section III-D).
+local query counters and telemetry hooks.  A :class:`Fleet` is a collection
+of devices with helpers for sampling heterogeneous populations and for
+querying devices matching a predicate (e.g. "currently on WiFi and charging"
+— the federated-client eligibility rule from Section III-D).
+
+Since the columnar fleet-state redesign (ROADMAP item 1), the dynamic state
+lives in a :class:`~repro.devices.state.FleetState` structure-of-arrays
+store and every :class:`EdgeDevice` is a thin row view into it: the object
+API keeps its exact historical semantics (it is the differential oracle for
+the vectorized paths), while :class:`Fleet` exposes the fleet-wide queries —
+:meth:`Fleet.training_eligible_mask`, :meth:`Fleet.context_table`,
+:meth:`Fleet.advance_all`, :meth:`Fleet.draw_batch_all` — as pure array ops.
+Device views are materialized lazily, so a million-device fleet is ~15 NumPy
+planes plus only the view objects actually touched.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -19,8 +30,9 @@ from .battery import Battery, PowerState
 from .cost import CostModel, ExecutionCost
 from .network import ConnectivityTrace, NetworkCondition, NetworkType
 from .profiles import DeviceProfile, random_fleet_profiles
+from .state import BatteryView, FleetState
 
-__all__ = ["EdgeDevice", "Fleet"]
+__all__ = ["EdgeDevice", "Fleet", "InstalledArtifact"]
 
 
 @dataclass
@@ -35,7 +47,14 @@ class InstalledArtifact:
 
 
 class EdgeDevice:
-    """Dynamic state of a single simulated edge device."""
+    """Dynamic state of a single simulated edge device.
+
+    A row view into a :class:`~repro.devices.state.FleetState`: a standalone
+    device owns a one-row store; a device obtained from a :class:`Fleet`
+    shares the fleet's consolidated store.  Either way, every accessor below
+    reads and writes the store planes, so scalar mutations and the fleet's
+    vectorized queries observe the same state.
+    """
 
     def __init__(
         self,
@@ -49,20 +68,95 @@ class EdgeDevice:
         self.device_id = device_id
         self.profile = profile
         self.user_id = user_id or f"user-{device_id}"
-        self.battery = battery or Battery(capacity_j=profile.battery_capacity_j)
-        self.network = network or NetworkCondition.of(NetworkType.WIFI)
+        self._seed = int(seed)
         self.installed: Dict[str, InstalledArtifact] = {}
-        self.query_count = 0
-        self.idle = True
-        self.rng = np.random.default_rng(seed)
-        self._cost_model = CostModel()
         self.telemetry_log: List[Dict[str, float]] = []
+        self._rng: Optional[np.random.Generator] = None
+        self._cost_model_obj: Optional[CostModel] = None
+        state = FleetState([device_id], [profile], seeds=[self._seed])
+        if battery is not None:
+            state.set_battery(0, battery)
+        if network is not None:
+            state.set_network(0, network)
+        self._bind(state, 0)
+
+    @classmethod
+    def _from_state(cls, state: FleetState, idx: int) -> "EdgeDevice":
+        """Materialize the view for one existing store row (no new store)."""
+        device = object.__new__(cls)
+        device.device_id = state.device_ids[idx]
+        device.profile = state.profile_at(idx)
+        device.user_id = f"user-{device.device_id}"
+        device._seed = int(state.seeds[idx])
+        device.installed = {}
+        device.telemetry_log = []
+        device._rng = None
+        device._cost_model_obj = None
+        device._bind(state, idx)
+        return device
+
+    def _bind(self, state: FleetState, idx: int) -> None:
+        """(Re)attach this view to a store row; Fleet adoption uses this."""
+        self._state = state
+        self._idx = int(idx)
+        self._battery = BatteryView(state, idx)
+
+    # -- store-backed attributes -----------------------------------------
+    @property
+    def battery(self) -> Battery:
+        """The device's battery (a row view; assignment copies fields in)."""
+        return self._battery
+
+    @battery.setter
+    def battery(self, battery: Battery) -> None:
+        self._state.set_battery(self._idx, battery)
+
+    @property
+    def network(self) -> NetworkCondition:
+        """Current link snapshot (reconstructed from the network planes)."""
+        return self._state.network_at(self._idx)
+
+    @network.setter
+    def network(self, condition: NetworkCondition) -> None:
+        self._state.set_network(self._idx, condition)
+
+    @property
+    def idle(self) -> bool:
+        return bool(self._state.idle[self._idx])
+
+    @idle.setter
+    def idle(self, value: bool) -> None:
+        self._state.idle[self._idx] = bool(value)
+
+    @property
+    def query_count(self) -> int:
+        return int(self._state.query_count[self._idx])
+
+    @query_count.setter
+    def query_count(self, value: int) -> None:
+        self._state.query_count[self._idx] = int(value)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Per-device RNG, seeded from the store's seed plane (lazy)."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(self._seed)
+        return self._rng
+
+    @rng.setter
+    def rng(self, generator: np.random.Generator) -> None:
+        self._rng = generator
+
+    @property
+    def _cost_model(self) -> CostModel:
+        if self._cost_model_obj is None:
+            self._cost_model_obj = CostModel()
+        return self._cost_model_obj
 
     # -- capabilities ----------------------------------------------------
     def free_flash(self) -> int:
         """Flash bytes still available for new artifacts."""
-        used = sum(a.size_bytes for a in self.installed.values())
-        return int(self.profile.flash_bytes - used)
+        return int(self.profile.flash_bytes - self._state.used_flash[self._idx])
 
     def can_install(self, size_bytes: int) -> bool:
         """Whether an artifact of the given size fits in free storage."""
@@ -78,10 +172,13 @@ class EdgeDevice:
                 f"on {self.device_id} (free {self.free_flash() + freed} B)"
             )
         self.installed[artifact.artifact_id] = artifact
+        self._state.used_flash[self._idx] += artifact.size_bytes - freed
 
     def uninstall(self, artifact_id: str) -> None:
         """Remove an artifact if present."""
-        self.installed.pop(artifact_id, None)
+        existing = self.installed.pop(artifact_id, None)
+        if existing is not None:
+            self._state.used_flash[self._idx] -= existing.size_bytes
 
     # -- execution -------------------------------------------------------
     def execute(self, cost: ExecutionCost, record: bool = True) -> bool:
@@ -104,17 +201,20 @@ class EdgeDevice:
                 )
         return ok
 
-    def execute_batch(self, cost: ExecutionCost, n: int, record: bool = True) -> int:
+    def execute_batch(
+        self, cost: ExecutionCost, n: int, record: bool = True, exact: bool = False
+    ) -> int:
         """Account for up to ``n`` executions of the same cost in one step.
 
         Uses :meth:`Battery.draw_batch` so battery accounting for a whole
-        traffic window is one arithmetic operation instead of a Python loop.
-        Returns the number of executions that actually ran (the rest failed
-        on a depleted battery).  When ``record`` is set, one aggregated
-        telemetry sample carrying a ``count`` field is appended instead of
-        ``n`` identical rows.
+        traffic window is one arithmetic operation instead of a Python loop
+        (``exact=True`` selects the iterated-subtraction oracle semantics —
+        see :meth:`Battery.draw_batch`).  Returns the number of executions
+        that actually ran (the rest failed on a depleted battery).  When
+        ``record`` is set, one aggregated telemetry sample carrying a
+        ``count`` field is appended instead of ``n`` identical rows.
         """
-        ran = self.battery.draw_batch(cost.energy_j, n)
+        ran = self.battery.draw_batch(cost.energy_j, n, exact=exact)
         if ran:
             self.query_count += ran
             if record:
@@ -158,15 +258,58 @@ class EdgeDevice:
         return f"EdgeDevice({self.device_id}, {self.profile.name}, soc={self.battery.state_of_charge:.2f})"
 
 
+class _DeviceMap(MappingABC):
+    """Lazy ``device_id -> EdgeDevice`` mapping over a fleet's store."""
+
+    def __init__(self, fleet: "Fleet") -> None:
+        self._fleet = fleet
+
+    def __getitem__(self, device_id: str) -> EdgeDevice:
+        return self._fleet._device(device_id)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fleet._rows)
+
+    def __len__(self) -> int:
+        return len(self._fleet._rows)
+
+    def __contains__(self, device_id: object) -> bool:
+        return device_id in self._fleet._rows
+
+
 class Fleet:
-    """A collection of edge devices under management by the platform."""
+    """A collection of edge devices under management by the platform.
+
+    Backed by one consolidated :class:`~repro.devices.state.FleetState`
+    (``fleet.state``); device views are created on demand, so fleet-wide
+    queries never materialize objects.
+    """
 
     def __init__(self, devices: Sequence[EdgeDevice]) -> None:
-        self.devices: Dict[str, EdgeDevice] = {d.device_id: d for d in devices}
-        if len(self.devices) != len(devices):
+        ids = [d.device_id for d in devices]
+        if len(set(ids)) != len(ids):
             raise ValueError("duplicate device ids in fleet")
+        self.state = FleetState.from_devices(devices)
+        self._rows: Dict[str, int] = {device_id: i for i, device_id in enumerate(ids)}
+        self._cache: Dict[str, EdgeDevice] = {}
+        for i, device in enumerate(devices):
+            device._bind(self.state, i)
+            self._cache[device.device_id] = device
+        self._device_map = _DeviceMap(self)
 
     # -- construction ------------------------------------------------------
+    @classmethod
+    def from_state(cls, state: FleetState) -> "Fleet":
+        """Wrap an existing columnar store without materializing devices."""
+        if len(set(state.device_ids)) != len(state.device_ids):
+            raise ValueError("duplicate device ids in fleet")
+        fleet = object.__new__(cls)
+        fleet.state = state
+        fleet._rows = {device_id: i for i, device_id in enumerate(state.device_ids)}
+        fleet._cache = {}
+        fleet._device_map = _DeviceMap(fleet)
+        return fleet
+
     @classmethod
     def random(
         cls,
@@ -175,37 +318,65 @@ class Fleet:
         seed: int = 0,
         connectivity_states: Sequence[str] = (NetworkType.OFFLINE, NetworkType.CELLULAR, NetworkType.WIFI),
     ) -> "Fleet":
-        """Sample a heterogeneous fleet with randomized battery and network state."""
+        """Sample a heterogeneous fleet with randomized battery and network state.
+
+        The columnar store is built directly — battery and network planes are
+        sampled as whole arrays — so a million-device fleet costs a handful
+        of vectorized draws instead of N object constructions.
+        """
         rng = np.random.default_rng(seed)
         profiles = random_fleet_profiles(n_devices, mix=mix, seed=seed)
-        devices = []
-        for i, profile in enumerate(profiles):
-            battery = Battery(capacity_j=profile.battery_capacity_j)
-            if battery.capacity_j != float("inf"):
-                battery.level_j = battery.capacity_j * rng.uniform(0.2, 1.0)
-                battery.plugged_in = bool(rng.random() < 0.3)
-            net_kind = connectivity_states[int(rng.integers(0, len(connectivity_states)))]
-            device = EdgeDevice(
-                device_id=f"dev-{i:04d}",
-                profile=profile,
-                network=NetworkCondition.of(net_kind),
-                battery=battery,
-                seed=seed + i,
-            )
-            device.idle = bool(rng.random() < 0.7)
-            devices.append(device)
-        return cls(devices)
+        state = FleetState(
+            [f"dev-{i:04d}" for i in range(n_devices)],
+            profiles,
+            seeds=seed + np.arange(n_devices),
+        )
+        finite = ~np.isinf(state.capacity_j)
+        levels = state.capacity_j * rng.uniform(0.2, 1.0, n_devices)
+        state.level_j[finite] = levels[finite]
+        state.plugged_in[finite] = rng.random(n_devices)[finite] < 0.3
+        kind_codes = rng.integers(0, len(connectivity_states), n_devices)
+        for j, kind in enumerate(connectivity_states):
+            mask = kind_codes == j
+            if mask.any():
+                state.set_network_rows(mask, NetworkCondition.of(kind))
+        state.idle[:] = rng.random(n_devices) < 0.7
+        return cls.from_state(state)
 
     # -- access --------------------------------------------------------------
+    @property
+    def devices(self) -> MappingABC:
+        """Mapping of ``device_id`` to (lazily materialized) device views."""
+        return self._device_map
+
+    def _device(self, device_id: str) -> EdgeDevice:
+        device = self._cache.get(device_id)
+        if device is None:
+            device = EdgeDevice._from_state(self.state, self._rows[device_id])
+            self._cache[device_id] = device
+        return device
+
     def __len__(self) -> int:
-        return len(self.devices)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[EdgeDevice]:
-        return iter(self.devices.values())
+        return (self._device(device_id) for device_id in self._rows)
 
     def get(self, device_id: str) -> EdgeDevice:
         """Device by id, raising ``KeyError`` if unknown."""
-        return self.devices[device_id]
+        return self._device(device_id)
+
+    def row_of(self, device_id: str) -> int:
+        """Store row index for a device id (``KeyError`` if unknown)."""
+        return self._rows[device_id]
+
+    def rows_for(self, device_ids: Sequence[str]) -> np.ndarray:
+        """Store row indices for many device ids, in the given order."""
+        return np.fromiter(
+            (self._rows[device_id] for device_id in device_ids),
+            dtype=np.intp,
+            count=len(device_ids),
+        )
 
     def select(self, predicate: Callable[[EdgeDevice], bool]) -> List[EdgeDevice]:
         """Devices matching a predicate."""
@@ -215,30 +386,45 @@ class Fleet:
         """Devices whose profile belongs to the given class."""
         return self.select(lambda d: d.profile.device_class == device_class)
 
+    def _devices_at(self, mask: np.ndarray) -> List[EdgeDevice]:
+        ids = self.state.device_ids
+        return [self._device(ids[i]) for i in np.flatnonzero(mask)]
+
     def online(self) -> List[EdgeDevice]:
         """Devices that currently have connectivity."""
-        return self.select(lambda d: d.network.online)
+        return self._devices_at(self.state.online_mask())
 
     def training_eligible(self) -> List[EdgeDevice]:
         """Devices eligible to participate in a federated round right now."""
-        return self.select(lambda d: d.is_eligible_for_training())
+        return self._devices_at(self.state.training_eligible_mask())
+
+    # -- vectorized fleet queries ---------------------------------------------
+    def training_eligible_mask(self) -> np.ndarray:
+        """Per-device federated eligibility as one boolean plane."""
+        return self.state.training_eligible_mask()
+
+    def context_table(self) -> Dict[str, np.ndarray]:
+        """The whole fleet's scheduling context as one columnar table."""
+        return self.state.context_table()
+
+    def context_rows(self, device_ids: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, object]]:
+        """Materialized :meth:`EdgeDevice.context` dicts keyed by device id."""
+        rows = None if device_ids is None else self.rows_for(device_ids)
+        return {ctx["device_id"]: ctx for ctx in self.state.context_rows(rows)}
+
+    def advance_all(self, seconds: float) -> None:
+        """Advance simulated time for every device in one sweep."""
+        self.state.advance_all(seconds)
+
+    def draw_batch_all(self, energies, counts) -> np.ndarray:
+        """Fleet-wide :meth:`Battery.draw_batch` (row order); returns served counts."""
+        return self.state.draw_batch_all(energies, counts)
 
     # -- aggregate statistics -------------------------------------------------
     def class_histogram(self) -> Dict[str, int]:
         """Count of devices per device class."""
-        hist: Dict[str, int] = {}
-        for d in self:
-            hist[d.profile.device_class] = hist.get(d.profile.device_class, 0) + 1
-        return hist
+        return self.state.class_histogram()
 
     def summary(self) -> Dict[str, object]:
         """Fleet-level summary used by reports and the platform dashboard."""
-        socs = np.array([d.battery.state_of_charge for d in self], dtype=np.float64)
-        return {
-            "n_devices": len(self),
-            "classes": self.class_histogram(),
-            "online_fraction": len(self.online()) / max(len(self), 1),
-            "training_eligible": len(self.training_eligible()),
-            "mean_soc": float(socs.mean()) if socs.size else 0.0,
-            "total_queries": int(sum(d.query_count for d in self)),
-        }
+        return self.state.summary()

@@ -1,0 +1,505 @@
+"""Columnar fleet state: structure-of-arrays device state behind the fleet API.
+
+Paper Section III drives model selection, serving admission and
+federated-client eligibility from per-device context — battery level, power
+state, connectivity, idleness.  After the serving, federated and
+observability hot paths were vectorized (PRs 1-5), that context was the last
+per-object surface: ``serve_fleet``, ``FederatedEngine.fleet_context()`` and
+``Fleet.summary()`` still walked N Python objects per sweep.  This module
+closes ROADMAP item 1: the whole fleet's dynamic state lives in fleet-wide
+NumPy planes and admission, battery draw, scheduling context and telemetry
+become pure array ops end-to-end — a 1M-device diurnal-traffic scenario fits
+in-process because a fleet is ~15 arrays, not 10^6 objects.
+
+Architecture note — plane layout
+--------------------------------
+:class:`FleetState` owns one 1-D array ("plane") per dynamic attribute, all
+indexed by device row:
+
+==========================  =========  ==========================================
+plane                       dtype      semantics
+==========================  =========  ==========================================
+``level_j``                 float64    battery charge (``inf`` for mains power)
+``capacity_j``              float64    battery capacity (``inf`` for mains power)
+``plugged_in``              bool       external power connected
+``low_power_threshold``     float64    SoC fraction below which LOW_POWER reports
+``charge_rate_w``           float64    charging power while plugged in
+``idle_draw_w``             float64    baseline draw applied by ``advance``
+``net_kind``                int16      code into ``net_kinds`` (link-type table)
+``net_bandwidth_bps``       float64    current link bandwidth
+``net_latency_s``           float64    current link latency
+``net_cost_per_mb``         float64    current link transfer cost
+``net_metered``             bool       link is metered
+``idle``                    bool       device is idle (eligibility signal)
+``query_count``             int64      served-query counter
+``used_flash``              int64      bytes consumed by installed artifacts
+``profile_idx``             int32      code into ``profile_table``
+``seeds``                   int64      per-device RNG seed
+==========================  =========  ==========================================
+
+Static identity lives next to the planes: ``device_ids`` (row order),
+``profile_table`` (interned :class:`~repro.devices.profiles.DeviceProfile`
+objects) and ``net_kinds`` (interned link-type strings, extended on demand so
+custom :class:`~repro.devices.network.NetworkCondition` kinds round-trip).
+
+View invariants
+---------------
+* Every :class:`~repro.devices.fleet.EdgeDevice` is a *row view*: its
+  ``battery`` is a :class:`BatteryView` and its ``network`` / ``idle`` /
+  ``query_count`` accessors read and write the planes directly, so scalar
+  object mutations and vectorized plane ops observe the same world.
+* A device views exactly **one** store.  Building a
+  :class:`~repro.devices.fleet.Fleet` from existing devices *adopts* them:
+  their rows are copied into the fleet's consolidated store and the views are
+  re-bound, so ``fleet.get(id) is device`` stays true.  A device previously
+  shared with another fleet stops tracking that fleet's store.
+* The scalar object API is the differential oracle: every vectorized op on
+  this store (:meth:`FleetState.draw_batch_rows`,
+  :meth:`FleetState.advance_all`, :meth:`FleetState.training_eligible_mask`,
+  :meth:`FleetState.context_table`) is bit-identical to the equivalent loop
+  over the object views — asserted by ``tests/devices/test_fleet_state.py``
+  and enforced at benchmark time by the ``bench_e1`` fleet-state guardrail.
+
+Adding a new state column
+-------------------------
+1. Allocate the plane in :meth:`FleetState.__init__` with an explicit dtype
+   and a per-row default, and list it in ``_COPY_PLANES`` so
+   :meth:`from_devices` consolidation and row copies carry it.
+2. Expose a property pair on the owning view (:class:`BatteryView` for power
+   attributes, :class:`~repro.devices.fleet.EdgeDevice` otherwise) so the
+   scalar oracle reads/writes the same plane.
+3. Extend the vectorized queries that should see it (and
+   :meth:`context_table` if it is a scheduling signal), then add a
+   plane-vs-object equivalence case to ``tests/devices/test_fleet_state.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .battery import Battery, PowerState
+from .network import NetworkCondition, NetworkType
+from .profiles import DeviceProfile
+
+__all__ = ["FleetState", "BatteryView"]
+
+
+# Planes copied verbatim when consolidating stores / copying rows.
+_COPY_PLANES = (
+    "level_j",
+    "capacity_j",
+    "plugged_in",
+    "low_power_threshold",
+    "charge_rate_w",
+    "idle_draw_w",
+    "net_kind",
+    "net_bandwidth_bps",
+    "net_latency_s",
+    "net_cost_per_mb",
+    "net_metered",
+    "idle",
+    "query_count",
+    "used_flash",
+    "seeds",
+)
+
+
+class FleetState:
+    """Structure-of-arrays store for the dynamic state of a whole fleet."""
+
+    def __init__(
+        self,
+        device_ids: Sequence[str],
+        profiles: Sequence[DeviceProfile],
+        seeds: Optional[Sequence[int]] = None,
+    ) -> None:
+        n = len(device_ids)
+        if len(profiles) != n:
+            raise ValueError("device_ids and profiles must have equal length")
+        self.device_ids: List[str] = [str(d) for d in device_ids]
+        self.n_devices = n
+
+        # -- static identity tables -------------------------------------
+        self.profile_table: List[DeviceProfile] = []
+        self._profile_codes: Dict[DeviceProfile, int] = {}
+        self.profile_idx = np.empty(n, dtype=np.int32)
+        for i, profile in enumerate(profiles):
+            self.profile_idx[i] = self._intern_profile(profile)
+        self.net_kinds: List[str] = list(NetworkType.ALL)
+        self._net_kind_codes: Dict[str, int] = {k: i for i, k in enumerate(self.net_kinds)}
+        self._derived_cache: Dict[str, tuple] = {}
+
+        # -- battery planes (defaults: full charge, Battery() attributes) --
+        caps = np.array([p.battery_capacity_j for p in profiles], dtype=np.float64)
+        self.capacity_j = caps
+        self.level_j = caps.copy()
+        self.plugged_in = np.zeros(n, dtype=bool)
+        self.low_power_threshold = np.full(n, 0.2, dtype=np.float64)
+        self.charge_rate_w = np.full(n, 5.0, dtype=np.float64)
+        self.idle_draw_w = np.full(n, 0.01, dtype=np.float64)
+
+        # -- network planes (default: WiFi) ------------------------------
+        wifi = NetworkCondition.of(NetworkType.WIFI)
+        self.net_kind = np.full(n, self._net_kind_codes[NetworkType.WIFI], dtype=np.int16)
+        self.net_bandwidth_bps = np.full(n, wifi.bandwidth_bps, dtype=np.float64)
+        self.net_latency_s = np.full(n, wifi.latency_s, dtype=np.float64)
+        self.net_cost_per_mb = np.full(n, wifi.cost_per_mb, dtype=np.float64)
+        self.net_metered = np.zeros(n, dtype=bool)
+
+        # -- device planes ----------------------------------------------
+        self.idle = np.ones(n, dtype=bool)
+        self.query_count = np.zeros(n, dtype=np.int64)
+        self.used_flash = np.zeros(n, dtype=np.int64)
+        self.seeds = (
+            np.asarray(seeds, dtype=np.int64).copy()
+            if seeds is not None
+            else np.zeros(n, dtype=np.int64)
+        )
+        if self.seeds.shape != (n,):
+            raise ValueError("seeds must have one entry per device")
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def _intern_profile(self, profile: DeviceProfile) -> int:
+        code = self._profile_codes.get(profile)
+        if code is None:
+            code = len(self.profile_table)
+            self.profile_table.append(profile)
+            self._profile_codes[profile] = code
+        return code
+
+    def _intern_kind(self, kind: str) -> int:
+        code = self._net_kind_codes.get(kind)
+        if code is None:
+            code = len(self.net_kinds)
+            self.net_kinds.append(kind)
+            self._net_kind_codes[kind] = code
+        return code
+
+    def _derived(self, name: str, build) -> np.ndarray:
+        """Per-profile/per-kind lookup array, rebuilt when the table grows."""
+        cached = self._derived_cache.get(name)
+        key = (len(self.profile_table), len(self.net_kinds))
+        if cached is None or cached[0] != key:
+            cached = (key, build())
+            self._derived_cache[name] = cached
+        return cached[1]
+
+    @property
+    def _profile_flash(self) -> np.ndarray:
+        return self._derived(
+            "flash", lambda: np.array([p.flash_bytes for p in self.profile_table], dtype=np.int64)
+        )
+
+    @property
+    def _profile_class(self) -> np.ndarray:
+        return self._derived(
+            "class", lambda: np.array([p.device_class for p in self.profile_table], dtype=object)
+        )
+
+    @property
+    def _kind_names(self) -> np.ndarray:
+        return self._derived("kinds", lambda: np.array(self.net_kinds, dtype=object))
+
+    @property
+    def _kind_is_offline(self) -> np.ndarray:
+        return self._derived(
+            "offline", lambda: np.array([k == NetworkType.OFFLINE for k in self.net_kinds], dtype=bool)
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_devices(cls, devices: Sequence) -> "FleetState":
+        """Consolidate the rows of existing device views into one store.
+
+        The devices keep their identity; callers (``Fleet.__init__``) re-bind
+        each view to its new row afterwards.
+        """
+        state = cls(
+            [d.device_id for d in devices],
+            [d.profile for d in devices],
+            seeds=[getattr(d, "_seed", 0) for d in devices],
+        )
+        for i, device in enumerate(devices):
+            src, j = device._state, device._idx
+            for plane in _COPY_PLANES:
+                if plane in ("net_kind",):
+                    continue  # codes are store-local; re-interned below
+                getattr(state, plane)[i] = getattr(src, plane)[j]
+            state.net_kind[i] = state._intern_kind(src.net_kinds[int(src.net_kind[j])])
+            state.profile_idx[i] = state._intern_profile(src.profile_table[int(src.profile_idx[j])])
+        return state
+
+    # ------------------------------------------------------------------
+    # per-row scalar accessors (used by the object views)
+    # ------------------------------------------------------------------
+    def set_battery(self, i: int, battery: Battery) -> None:
+        """Copy a standalone :class:`Battery`'s fields into row ``i``."""
+        self.capacity_j[i] = battery.capacity_j
+        self.level_j[i] = battery.level_j
+        self.plugged_in[i] = battery.plugged_in
+        self.low_power_threshold[i] = battery.low_power_threshold
+        self.charge_rate_w[i] = battery.charge_rate_w
+        self.idle_draw_w[i] = battery.idle_draw_w
+
+    def set_network(self, i: int, condition: NetworkCondition) -> None:
+        """Decompose a :class:`NetworkCondition` snapshot into row ``i``."""
+        self.net_kind[i] = self._intern_kind(condition.kind)
+        self.net_bandwidth_bps[i] = condition.bandwidth_bps
+        self.net_latency_s[i] = condition.latency_s
+        self.net_cost_per_mb[i] = condition.cost_per_mb
+        self.net_metered[i] = condition.metered
+
+    def set_network_rows(self, mask: np.ndarray, condition: NetworkCondition) -> None:
+        """Assign one link snapshot to every row selected by ``mask``."""
+        self.net_kind[mask] = self._intern_kind(condition.kind)
+        self.net_bandwidth_bps[mask] = condition.bandwidth_bps
+        self.net_latency_s[mask] = condition.latency_s
+        self.net_cost_per_mb[mask] = condition.cost_per_mb
+        self.net_metered[mask] = condition.metered
+
+    def network_at(self, i: int) -> NetworkCondition:
+        """Reconstruct row ``i``'s :class:`NetworkCondition` snapshot."""
+        return NetworkCondition(
+            kind=self.net_kinds[int(self.net_kind[i])],
+            bandwidth_bps=float(self.net_bandwidth_bps[i]),
+            latency_s=float(self.net_latency_s[i]),
+            cost_per_mb=float(self.net_cost_per_mb[i]),
+            metered=bool(self.net_metered[i]),
+        )
+
+    def profile_at(self, i: int) -> DeviceProfile:
+        """Row ``i``'s interned :class:`DeviceProfile`."""
+        return self.profile_table[int(self.profile_idx[i])]
+
+    # ------------------------------------------------------------------
+    # vectorized queries (loop-equivalent to the object views)
+    # ------------------------------------------------------------------
+    def state_of_charge(self) -> np.ndarray:
+        """Per-device SoC fraction, matching :attr:`Battery.state_of_charge`."""
+        mains = np.isinf(self.capacity_j)
+        dead = ~mains & (self.capacity_j <= 0)
+        with np.errstate(invalid="ignore"):
+            soc = np.clip(self.level_j / np.where(self.capacity_j > 0, self.capacity_j, 1.0), 0.0, 1.0)
+        soc[dead] = 0.0
+        soc[mains] = 1.0
+        return soc
+
+    def power_state(self) -> np.ndarray:
+        """Per-device :class:`~repro.devices.battery.PowerState` strings."""
+        soc = self.state_of_charge()
+        return np.select(
+            [self.plugged_in, soc <= 0.0, soc < self.low_power_threshold],
+            [PowerState.PLUGGED_IN, PowerState.DEPLETED, PowerState.LOW_POWER],
+            default=PowerState.ON_BATTERY,
+        ).astype(object)
+
+    def online_mask(self) -> np.ndarray:
+        """Per-device connectivity, matching :attr:`NetworkCondition.online`."""
+        return ~self._kind_is_offline[self.net_kind] & (self.net_bandwidth_bps > 0)
+
+    def training_eligible_mask(self) -> np.ndarray:
+        """FedAvg eligibility, matching :meth:`EdgeDevice.is_eligible_for_training`."""
+        charged = self.plugged_in | (self.state_of_charge() > 0.6)
+        return self.idle & self.online_mask() & ~self.net_metered & charged
+
+    def free_flash(self) -> np.ndarray:
+        """Per-device flash bytes still available for new artifacts."""
+        return self._profile_flash[self.profile_idx] - self.used_flash
+
+    def context_table(self) -> Dict[str, np.ndarray]:
+        """The whole fleet's scheduling context as one columnar table.
+
+        Columns mirror the keys of :meth:`EdgeDevice.context`; each value is
+        a length-``n_devices`` array in row order.
+        """
+        return {
+            "device_id": np.array(self.device_ids, dtype=object),
+            "device_class": self._profile_class[self.profile_idx],
+            "power_state": self.power_state(),
+            "state_of_charge": self.state_of_charge(),
+            "network": self._kind_names[self.net_kind],
+            "network_online": self.online_mask(),
+            "metered": self.net_metered.copy(),
+            "idle": self.idle.copy(),
+            "free_flash": self.free_flash(),
+        }
+
+    def context_rows(self, rows: Optional[Sequence[int]] = None) -> List[Dict[str, object]]:
+        """Materialized per-device context dicts (``EdgeDevice.context`` rows).
+
+        One vectorized pass computes every column, then only the requested
+        ``rows`` (default: all) are boxed into dicts — the dict-building is
+        the only O(#rows) Python left in a context sweep.
+        """
+        idx = np.arange(self.n_devices) if rows is None else np.asarray(rows, dtype=np.intp)
+        classes = self._profile_class[self.profile_idx[idx]]
+        power = self.power_state()[idx]
+        soc = self.state_of_charge()[idx]
+        kinds = self._kind_names[self.net_kind[idx]]
+        online = self.online_mask()[idx]
+        metered = self.net_metered[idx]
+        idle = self.idle[idx]
+        flash = self.free_flash()[idx]
+        ids = self.device_ids
+        return [
+            {
+                "device_id": ids[i],
+                "device_class": classes[k],
+                "power_state": power[k],
+                "state_of_charge": float(soc[k]),
+                "network": kinds[k],
+                "network_online": bool(online[k]),
+                "metered": bool(metered[k]),
+                "idle": bool(idle[k]),
+                "free_flash": int(flash[k]),
+            }
+            for k, i in enumerate(idx)
+        ]
+
+    # ------------------------------------------------------------------
+    # vectorized mutations
+    # ------------------------------------------------------------------
+    def draw_batch_rows(
+        self, rows: np.ndarray, energies: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Closed-form battery draw for many devices in one sweep.
+
+        Per-row semantics are exactly :meth:`Battery.draw_batch` (the
+        canonical serving-admission arithmetic): returns how many of
+        ``counts[k]`` executions at ``energies[k]`` joules fit on device
+        ``rows[k]``, draining partially-covered batteries to zero.  ``rows``
+        must not contain duplicates (each row's draw is a single closed-form
+        update).
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        e = np.broadcast_to(np.asarray(energies, dtype=np.float64), rows.shape)
+        n = np.broadcast_to(np.asarray(counts, dtype=np.int64), rows.shape)
+        if np.any(e < 0):
+            raise ValueError("energy draw must be non-negative")
+        if np.any(n < 0):
+            raise ValueError("batch size must be non-negative")
+        level = self.level_j[rows]
+        free = self.plugged_in[rows] | np.isinf(self.capacity_j[rows]) | (e == 0.0)
+        safe_e = np.where(e > 0, e, 1.0)
+        safe_level = np.where(np.isfinite(level), level, 0.0)
+        fits = np.where(
+            ~free & (level >= e), np.floor_divide(safe_level, safe_e), 0.0
+        ).astype(np.int64)
+        full = fits >= n
+        served = np.where(free | full, n, fits)
+        drained = np.where(full, np.maximum(0.0, level - n * e), 0.0)
+        self.level_j[rows] = np.where(free, level, drained)
+        return served
+
+    def draw_batch_all(self, energies, counts) -> np.ndarray:
+        """:meth:`draw_batch_rows` over the whole fleet in row order."""
+        return self.draw_batch_rows(np.arange(self.n_devices), energies, counts)
+
+    def advance_all(self, seconds: float, rows: Optional[np.ndarray] = None) -> None:
+        """Advance simulated time for the fleet (``Battery.advance`` per row)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        idx = np.arange(self.n_devices) if rows is None else np.asarray(rows, dtype=np.intp)
+        finite = ~np.isinf(self.capacity_j[idx])
+        charging = idx[finite & self.plugged_in[idx]]
+        draining = idx[finite & ~self.plugged_in[idx]]
+        self.level_j[charging] = np.minimum(
+            self.capacity_j[charging], self.level_j[charging] + self.charge_rate_w[charging] * seconds
+        )
+        self.level_j[draining] = np.maximum(
+            0.0, self.level_j[draining] - self.idle_draw_w[draining] * seconds
+        )
+
+    # ------------------------------------------------------------------
+    def class_histogram(self) -> Dict[str, int]:
+        """Device count per device class (one ``bincount`` over profile codes)."""
+        counts = np.bincount(self.profile_idx, minlength=len(self.profile_table))
+        classes: Dict[str, int] = {}
+        for profile, count in zip(self.profile_table, counts):
+            if count:
+                classes[profile.device_class] = classes.get(profile.device_class, 0) + int(count)
+        return classes
+
+    def summary(self) -> Dict[str, object]:
+        """Fleet-level aggregates from the planes (``Fleet.summary`` backend)."""
+        n = self.n_devices
+        classes = self.class_histogram()
+        soc = self.state_of_charge()
+        return {
+            "n_devices": n,
+            "classes": classes,
+            "online_fraction": int(self.online_mask().sum()) / max(n, 1),
+            "training_eligible": int(self.training_eligible_mask().sum()),
+            "mean_soc": float(soc.mean()) if n else 0.0,
+            "total_queries": int(self.query_count.sum()),
+        }
+
+
+class BatteryView(Battery):
+    """A :class:`Battery` whose fields live in a :class:`FleetState` row.
+
+    Same public methods, same semantics: every query and mutation of
+    :class:`Battery` operates through the field properties below, so the
+    shared method bodies are the single source of battery arithmetic for both
+    standalone objects and store-backed rows (the equivalence suite asserts
+    the round-trip through the planes is bit-exact).
+    """
+
+    def __init__(self, state: FleetState, index: int) -> None:
+        self._s = state
+        self._i = int(index)
+
+    # Field properties shadow the dataclass attributes of Battery.
+    @property
+    def capacity_j(self) -> float:  # type: ignore[override]
+        return float(self._s.capacity_j[self._i])
+
+    @capacity_j.setter
+    def capacity_j(self, value: float) -> None:
+        self._s.capacity_j[self._i] = value
+
+    @property
+    def level_j(self) -> float:  # type: ignore[override]
+        return float(self._s.level_j[self._i])
+
+    @level_j.setter
+    def level_j(self, value: float) -> None:
+        self._s.level_j[self._i] = value
+
+    @property
+    def plugged_in(self) -> bool:  # type: ignore[override]
+        return bool(self._s.plugged_in[self._i])
+
+    @plugged_in.setter
+    def plugged_in(self, value: bool) -> None:
+        self._s.plugged_in[self._i] = bool(value)
+
+    @property
+    def low_power_threshold(self) -> float:  # type: ignore[override]
+        return float(self._s.low_power_threshold[self._i])
+
+    @low_power_threshold.setter
+    def low_power_threshold(self, value: float) -> None:
+        self._s.low_power_threshold[self._i] = value
+
+    @property
+    def charge_rate_w(self) -> float:  # type: ignore[override]
+        return float(self._s.charge_rate_w[self._i])
+
+    @charge_rate_w.setter
+    def charge_rate_w(self, value: float) -> None:
+        self._s.charge_rate_w[self._i] = value
+
+    @property
+    def idle_draw_w(self) -> float:  # type: ignore[override]
+        return float(self._s.idle_draw_w[self._i])
+
+    @idle_draw_w.setter
+    def idle_draw_w(self, value: float) -> None:
+        self._s.idle_draw_w[self._i] = value

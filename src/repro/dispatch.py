@@ -1,0 +1,65 @@
+"""Engine-dispatch convention shared by every dual-path surface.
+
+The platform keeps two implementations of each hot path: the vectorized
+production path and the scalar predecessor, preserved as the differential
+oracle (standing invariant in ROADMAP.md).  Historically each surface grew
+its own toggle spelling — ``batched=False`` keywords on
+:meth:`~repro.core.serving.ServingEngine.serve_fleet` and the drift
+detectors, a ``run_round_legacy`` method on
+:class:`~repro.federated.engine.FederatedEngine`, a plain
+``GraphExecutor`` fallback in :mod:`repro.exchange.executor`.  This module
+unifies them: every dual-path entry point accepts
+
+``engine="batched"``
+    the vectorized path (default everywhere);
+``engine="oracle"``
+    the scalar reference path.
+
+The old spellings remain as thin aliases that emit
+:class:`DeprecationWarning` and forward to the ``engine`` form, so existing
+call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+__all__ = ["ENGINE_BATCHED", "ENGINE_ORACLE", "resolve_engine"]
+
+ENGINE_BATCHED = "batched"
+ENGINE_ORACLE = "oracle"
+_ENGINES = (ENGINE_BATCHED, ENGINE_ORACLE)
+
+
+def resolve_engine(
+    engine: Optional[str] = None,
+    batched: Optional[bool] = None,
+    *,
+    default: str = ENGINE_BATCHED,
+    alias: str = "batched",
+    owner: str = "",
+) -> str:
+    """Resolve the ``engine=`` keyword, honoring a deprecated boolean alias.
+
+    ``engine`` wins when given and must be ``"batched"`` or ``"oracle"``.
+    A non-``None`` ``batched`` (the legacy spelling) maps ``True`` to
+    ``"batched"`` and ``False`` to ``"oracle"`` with a
+    :class:`DeprecationWarning` naming the ``owner`` call site; passing both
+    is an error.  With neither given, ``default`` applies.
+    """
+    if engine is not None and batched is not None:
+        raise ValueError(f"{owner or 'call'}: pass engine=..., not both engine= and {alias}=")
+    if engine is not None:
+        if engine not in _ENGINES:
+            raise ValueError(f"{owner or 'call'}: unknown engine {engine!r}; expected one of {_ENGINES}")
+        return engine
+    if batched is not None:
+        warnings.warn(
+            f"{owner or 'this call'}: the {alias}= keyword is deprecated; "
+            f'use engine="batched" / engine="oracle"',
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ENGINE_BATCHED if batched else ENGINE_ORACLE
+    return default

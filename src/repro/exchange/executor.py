@@ -234,6 +234,24 @@ class GraphExecutor:
         return windows.mean(axis=(2, 4))
 
 
-def execute_graph(graph: GraphIR, x: np.ndarray, apply_quantization: bool = True) -> np.ndarray:
-    """One-shot convenience wrapper around :class:`GraphExecutor`."""
+def execute_graph(
+    graph: GraphIR,
+    x: np.ndarray,
+    apply_quantization: bool = True,
+    engine: Optional[str] = None,
+) -> np.ndarray:
+    """One-shot convenience wrapper around the graph executors.
+
+    ``engine`` follows the :mod:`repro.dispatch` convention:
+    ``"oracle"`` (the default here — a one-shot call has no plan to amortize)
+    runs the reference :class:`GraphExecutor` interpreter;
+    ``"batched"`` compiles the graph into a
+    :class:`~repro.exchange.compiled.CompiledExecutor` plan first.
+    """
+    from repro.dispatch import ENGINE_BATCHED, ENGINE_ORACLE, resolve_engine
+
+    if resolve_engine(engine, None, default=ENGINE_ORACLE, owner="execute_graph") == ENGINE_BATCHED:
+        from .compiled import CompiledExecutor
+
+        return CompiledExecutor(graph, apply_quantization=apply_quantization).run(x)
     return GraphExecutor(graph, apply_quantization=apply_quantization).run(x)

@@ -28,8 +28,10 @@ loop, compress one delta at a time.  This module executes the same round
   straggler timeouts and byzantine clients injecting scaled / sign-flipped
   deltas (exercised against :class:`TrimmedMeanAggregator`).
 
-The legacy per-client loop is preserved as
-:meth:`FederatedEngine.run_round_legacy` so benchmarks can assert the
+The legacy per-client loop is preserved behind
+``run_round(..., engine="oracle")`` (the unified toggle convention of
+:mod:`repro.dispatch`; the old :meth:`FederatedEngine.run_round_legacy`
+spelling survives as a deprecated alias) so benchmarks can assert the
 vectorized path stays equivalent and at least an order of magnitude faster
 (``bench_e6``), mirroring the batched-serving guardrail of ``bench_e1``.
 
@@ -59,12 +61,14 @@ recipe in :mod:`repro.exchange.compiled`):
 from __future__ import annotations
 
 import math
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dispatch import ENGINE_ORACLE, resolve_engine
 from repro.nn import activations as A
 from repro.nn.layers import Dense, Dropout, Layer
 from repro.nn.model import Sequential
@@ -809,15 +813,21 @@ class FederatedEngine:
         return self.fleet.devices.get(self.device_map.get(client_id, client_id))
 
     def fleet_context(self) -> Optional[Dict[str, Dict[str, object]]]:
-        """Live scheduler context built from the fleet's current state."""
+        """Live scheduler context built from the fleet's current state.
+
+        One :meth:`~repro.devices.Fleet.context_rows` sweep over the columnar
+        store covers every mapped client — no device objects are
+        materialized, so building context for a million-device fleet is a
+        handful of array ops plus one dict per client.
+        """
         if self.fleet is None:
             return None
-        context: Dict[str, Dict[str, object]] = {}
-        for cid in self.clients:
-            device = self._device_for(cid)
-            if device is not None:
-                context[cid] = device.context()
-        return context
+        mapped = {cid: self.device_map.get(cid, cid) for cid in self.clients}
+        present = [did for did in dict.fromkeys(mapped.values()) if did in self.fleet.devices]
+        if not present:
+            return {}
+        by_device = self.fleet.context_rows(present)
+        return {cid: by_device[did] for cid, did in mapped.items() if did in by_device}
 
     def _drain_training_energy(self, client_ids: Sequence[str]) -> None:
         """Charge each training device for its local epochs (fwd + bwd)."""
@@ -932,9 +942,19 @@ class FederatedEngine:
         return deltas, losses, accs
 
     def run_round(
-        self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
+        self,
+        round_index: int,
+        device_context: Optional[Dict[str, Dict[str, object]]] = None,
+        engine: Optional[str] = None,
     ) -> RoundResult:
-        """Execute one vectorized round and append its result to ``history``."""
+        """Execute one round and append its result to ``history``.
+
+        ``engine="batched"`` (default) runs the vectorized cohort sweep;
+        ``engine="oracle"`` runs the seed-era per-client loop kept as the
+        equivalence and performance baseline (:mod:`repro.dispatch`).
+        """
+        if resolve_engine(engine, None, owner="FederatedEngine.run_round") == ENGINE_ORACLE:
+            return self._run_round_oracle(round_index, device_context=device_context)
         context = device_context if device_context is not None else self.fleet_context()
         selected = self.scheduler.select(list(self.clients), round_index, context=context)
         if not selected:
@@ -995,6 +1015,17 @@ class FederatedEngine:
         return result
 
     def run_round_legacy(
+        self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
+    ) -> RoundResult:
+        """Deprecated alias for ``run_round(..., engine="oracle")``."""
+        warnings.warn(
+            'FederatedEngine.run_round_legacy is deprecated; use run_round(..., engine="oracle")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_round_oracle(round_index, device_context=device_context)
+
+    def _run_round_oracle(
         self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
     ) -> RoundResult:
         """The seed-era per-client round loop, kept as the equivalence and

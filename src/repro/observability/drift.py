@@ -29,8 +29,9 @@ Two scoring paths produce the same statistics:
   handful of vectorized NumPy calls, with statistics bit-identical to the
   oracle (the differential suite in ``tests/observability`` asserts exact
   equality).  Detectors default to the batched path; construct them with
-  ``batched=False`` to keep the oracle in the hot loop (benchmarks use this
-  as the baseline).
+  ``engine="oracle"`` (the unified toggle of :mod:`repro.dispatch`; the old
+  ``batched=False`` keyword is a deprecated alias) to keep the oracle in
+  the hot loop (benchmarks use this as the baseline).
 """
 
 from __future__ import annotations
@@ -40,6 +41,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats
+
+from repro.dispatch import ENGINE_BATCHED, resolve_engine
 
 __all__ = [
     "ks_statistic",
@@ -360,19 +363,27 @@ class StreamingDriftDetector:
     the maximum over features is reported, so a shift concentrated in a single
     feature is not diluted by the others.
 
-    ``batched`` selects the scoring path: the vectorized all-columns-at-once
-    implementation (default) or the per-column oracle loop it is
-    bit-identical to.
+    ``engine`` selects the scoring path (:mod:`repro.dispatch` convention):
+    ``"batched"`` (default) is the vectorized all-columns-at-once
+    implementation, ``"oracle"`` the per-column loop it is bit-identical
+    to.  The boolean ``batched=`` keyword is a deprecated alias.
     """
 
     name = "base"
 
-    def __init__(self, reference: np.ndarray, threshold: float, batched: bool = True) -> None:
+    def __init__(
+        self,
+        reference: np.ndarray,
+        threshold: float,
+        engine: Optional[str] = None,
+        batched: Optional[bool] = None,
+    ) -> None:
         self.reference = np.asarray(reference, dtype=np.float64)
         if self.reference.size == 0:
             raise ValueError("reference sample must be non-empty")
         self.threshold = float(threshold)
-        self.batched = bool(batched)
+        self.engine = resolve_engine(engine, batched, owner=f"{type(self).__name__}()")
+        self.batched = self.engine == ENGINE_BATCHED
         self.history: List[DriftResult] = []
         self._ref_sorted: Optional[np.ndarray] = None
         self._ref_ravel_sorted: Optional[np.ndarray] = None
@@ -464,9 +475,15 @@ class KSDetector(StreamingDriftDetector):
 
     name = "ks"
 
-    def __init__(self, reference: np.ndarray, threshold: float = 0.25, batched: bool = True) -> None:
+    def __init__(
+        self,
+        reference: np.ndarray,
+        threshold: float = 0.25,
+        engine: Optional[str] = None,
+        batched: Optional[bool] = None,
+    ) -> None:
         ref = np.asarray(reference, dtype=np.float64)
-        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, batched=batched)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, engine=engine, batched=batched)
         if self.batched:
             _ = self.reference_sorted  # sort the reference once, at construction
 
@@ -481,9 +498,16 @@ class PSIDetector(StreamingDriftDetector):
 
     name = "psi"
 
-    def __init__(self, reference: np.ndarray, threshold: float = 1.0, bins: int = 10, batched: bool = True) -> None:
+    def __init__(
+        self,
+        reference: np.ndarray,
+        threshold: float = 1.0,
+        bins: int = 10,
+        engine: Optional[str] = None,
+        batched: Optional[bool] = None,
+    ) -> None:
         ref = np.asarray(reference, dtype=np.float64)
-        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, batched=batched)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, engine=engine, batched=batched)
         self.bins = int(bins)
         if self.batched:
             _ = self.reference_sorted
@@ -503,9 +527,16 @@ class JSDetector(StreamingDriftDetector):
 
     name = "js"
 
-    def __init__(self, reference: np.ndarray, threshold: float = 0.25, bins: int = 32, batched: bool = True) -> None:
+    def __init__(
+        self,
+        reference: np.ndarray,
+        threshold: float = 0.25,
+        bins: int = 32,
+        engine: Optional[str] = None,
+        batched: Optional[bool] = None,
+    ) -> None:
         ref = np.asarray(reference, dtype=np.float64)
-        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, batched=batched)
+        super().__init__(ref if ref.ndim == 2 else ref.ravel(), threshold, engine=engine, batched=batched)
         self.bins = int(bins)
         if self.batched:
             _ = self.reference_sorted
@@ -523,16 +554,24 @@ class JSDetector(StreamingDriftDetector):
 class MMDDetector(StreamingDriftDetector):
     """Kernel-MMD detector on multivariate feature windows.
 
-    The kernel statistic has no column decomposition, so the ``batched``
-    flag is accepted for interface uniformity but scoring is always the
+    The kernel statistic has no column decomposition, so the ``engine``
+    keyword is accepted for interface uniformity but scoring is always the
     direct multivariate computation; the fleet monitor runs MMD detectors
     per-device.
     """
 
     name = "mmd"
 
-    def __init__(self, reference: np.ndarray, threshold: float = 0.015, max_samples: int = 256, seed: int = 0, batched: bool = True) -> None:
-        super().__init__(np.asarray(reference), threshold, batched=batched)
+    def __init__(
+        self,
+        reference: np.ndarray,
+        threshold: float = 0.015,
+        max_samples: int = 256,
+        seed: int = 0,
+        engine: Optional[str] = None,
+        batched: Optional[bool] = None,
+    ) -> None:
+        super().__init__(np.asarray(reference), threshold, engine=engine, batched=batched)
         self.max_samples = int(max_samples)
         self.seed = int(seed)
 

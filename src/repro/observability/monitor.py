@@ -18,6 +18,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dispatch import resolve_engine
+
 from .drift import (
     DriftResult,
     JSDetector,
@@ -59,10 +61,11 @@ class EdgeMonitor:
         Number of classes of the deployed classifier.
     detectors:
         Which input-drift detectors to run (subset of ks/psi/js/mmd).
-    batched:
-        Score windows with the vectorized all-columns-at-once detector path
-        (default) or the per-column oracle loop (``False``; the benchmarks
-        use this as the baseline).
+    engine:
+        Detector scoring path (:mod:`repro.dispatch` convention):
+        ``"batched"`` (default) is the vectorized all-columns-at-once path,
+        ``"oracle"`` the per-column loop the benchmarks use as the
+        baseline.  The boolean ``batched=`` keyword is a deprecated alias.
     """
 
     def __init__(
@@ -74,8 +77,10 @@ class EdgeMonitor:
         detectors: Sequence[str] = ("ks", "psi"),
         model_version: str = "",
         thresholds: Optional[Dict[str, float]] = None,
-        batched: bool = True,
+        engine: Optional[str] = None,
+        batched: Optional[bool] = None,
     ) -> None:
+        engine = resolve_engine(engine, batched, owner="EdgeMonitor()")
         self.device_id = device_id
         reference_inputs = np.asarray(reference_inputs, dtype=np.float64)
         flat_ref = reference_inputs.reshape(reference_inputs.shape[0], -1)
@@ -86,9 +91,9 @@ class EdgeMonitor:
                 raise KeyError(f"unknown detector {name!r}; known: {sorted(_DETECTORS)}")
             cls = _DETECTORS[name]
             if name in thresholds:
-                self.detectors[name] = cls(flat_ref, threshold=thresholds[name], batched=batched)
+                self.detectors[name] = cls(flat_ref, threshold=thresholds[name], engine=engine)
             else:
-                self.detectors[name] = cls(flat_ref, batched=batched)
+                self.detectors[name] = cls(flat_ref, engine=engine)
         self.prediction_monitor = (
             PredictionDistributionMonitor(reference_predictions, num_classes)
             if reference_predictions is not None and num_classes
