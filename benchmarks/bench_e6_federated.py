@@ -341,3 +341,59 @@ def test_e6_noniid_severity_sweep(benchmark, smoke_mode):
     skews = [sweep[a]["mean_tv_distance"] for a in alphas]
     assert skews[0] > skews[-1], "smaller alpha must be more non-IID"
     assert all(sweep[a]["final_accuracy"] > 0.4 for a in alphas)
+
+
+def test_e6_sharded_round_scaling(benchmark, smoke_mode):
+    """Sharded multi-process federated round vs the in-process batched sweep.
+
+    A 100-client mixed-config fleet (several batched cohorts: two batch
+    sizes x Adam, so cohorts distribute whole to workers) runs one round
+    through both engines; the delta stack, global weights and round metrics
+    must be byte-identical everywhere.  The near-linear scaling guardrail
+    (≥2.5x on 4 workers) is asserted only on machines that actually have
+    ≥4 cores and outside smoke mode; the measured numbers are always
+    exported so CI trends them.
+    """
+    import os
+
+    from repro.runtime.sharded import ShardedFleetRunner
+
+    n_clients = 24 if smoke_mode else 100
+    n_workers = 4
+
+    def scenario():
+        eng_b = _mixed_engine_world(n_clients=n_clients)
+        t0 = time.perf_counter()
+        result_b = eng_b.run_round(0)
+        t_batched = time.perf_counter() - t0
+
+        eng_s = _mixed_engine_world(n_clients=n_clients)
+        eng_s.shard_runner = ShardedFleetRunner(workers=n_workers, backend="pickle")
+        t0 = time.perf_counter()
+        result_s = eng_s.run_round(0, engine="sharded")
+        t_sharded = time.perf_counter() - t0
+
+        return {
+            "n_clients": n_clients,
+            "workers": n_workers,
+            "host_cores": os.cpu_count() or 1,
+            "batched_s": t_batched,
+            "sharded_s": t_sharded,
+            "sharded_round_speedup_4w": t_batched / max(t_sharded, 1e-12),
+            "identical_weights": (
+                eng_s.global_model.get_flat_weights().tobytes()
+                == eng_b.global_model.get_flat_weights().tobytes()
+            ),
+            "identical_round_metrics": result_s.as_dict() == result_b.as_dict(),
+            "shard_recoveries": result_s.shard_recoveries,
+        }
+
+    result = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert result["identical_weights"], "sharded round weights diverged from batched"
+    assert result["identical_round_metrics"], "sharded round metrics diverged from batched"
+    assert result["shard_recoveries"] == 0
+    if not smoke_mode and result["host_cores"] >= n_workers:
+        assert result["sharded_round_speedup_4w"] >= 2.5, (
+            f"sharded round only {result['sharded_round_speedup_4w']:.2f}x on {n_workers} workers"
+        )
+    benchmark.extra_info.update(result)

@@ -260,6 +260,58 @@ class UsageLedger:
         """Number of metered queries (optionally per model)."""
         return sum(e.count for e in self.entries if model_name is None or e.model_name == model_name)
 
+    # -- shard segments ----------------------------------------------------
+    def head_mac(self) -> str:
+        """The chain head: the last entry's MAC, or GENESIS when empty."""
+        return self.entries[-1].mac if self.entries else self.GENESIS
+
+    def export_segment(self, start: int) -> List[LedgerEntry]:
+        """The chain suffix appended since ``start`` entries existed.
+
+        A sharded worker meters against a pickled copy of this ledger and
+        ships back ``export_segment(base)`` where ``base`` was the copy's
+        entry count at dispatch; the parent re-chains it with
+        :meth:`append_segment`.
+        """
+        if not 0 <= start <= len(self.entries):
+            raise ValueError(f"segment start {start} outside chain of length {len(self.entries)}")
+        return list(self.entries[start:])
+
+    def append_segment(self, entries: Sequence[LedgerEntry]) -> int:
+        """Re-chain a segment produced by a forked copy of this ledger.
+
+        The segment must extend this ledger's chain exactly: each entry's
+        index must continue the chain, its ``prev_mac`` must equal the
+        current head, its MAC must verify under this device's key and its
+        grant must be installed.  On success the entries are appended and
+        the per-grant quota counters and metering clock advance exactly as
+        if :meth:`record_batch` had produced them here — so a merged ledger
+        is byte-identical to one that metered the same windows in-process.
+        Raises :class:`ValueError` (appending nothing) on any mismatch; a
+        torn merge can therefore never happen mid-segment, because the
+        whole segment is validated before the first append.
+        """
+        entries = list(entries)
+        prev_mac = self.head_mac()
+        index = len(self.entries)
+        for entry in entries:
+            if entry.index != index or entry.prev_mac != prev_mac:
+                raise ValueError(
+                    f"segment entry {entry.index} does not extend the chain of {self.device_id!r}"
+                )
+            expected = hmac.new(self._key, entry.payload(prev_mac), hashlib.sha256).hexdigest()
+            if not hmac.compare_digest(expected, entry.mac):
+                raise ValueError(f"segment entry {entry.index} has an invalid MAC for {self.device_id!r}")
+            if entry.grant_id not in self.grants:
+                raise ValueError(f"segment entry {entry.index} consumes unknown grant {entry.grant_id!r}")
+            prev_mac = entry.mac
+            index += 1
+        for entry in entries:
+            self.entries.append(entry)
+            self._used_per_grant[entry.grant_id] += entry.count
+            self._clock += float(entry.count)
+        return len(entries)
+
     # -- verification -----------------------------------------------------
     def verify_chain(self, key: Optional[bytes] = None) -> bool:
         """Recompute every MAC; False if any entry was altered or removed."""

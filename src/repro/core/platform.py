@@ -230,7 +230,13 @@ class TinyMLOpsPlatform:
         """
         return self.serving.serve_batch(device_id, model_name, x).as_dict()
 
-    def serve_fleet(self, model_name: str, traffic) -> FleetServeReport:
+    def serve_fleet(
+        self,
+        model_name: str,
+        traffic,
+        engine: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> FleetServeReport:
         """Drive the whole fleet through one or more traffic windows.
 
         ``traffic`` is a ``{device_id: inputs}`` mapping or an iterable of
@@ -238,9 +244,13 @@ class TinyMLOpsPlatform:
         generators).  Each window is served as one fleet sweep: per-device
         quota/battery admission, then a single compiled-plan prediction
         sweep and a single :class:`~repro.observability.FleetMonitor` drift
-        sweep over every monitored device's served slice.
+        sweep over every monitored device's served slice.  ``engine`` /
+        ``workers`` pass through to
+        :meth:`~repro.core.serving.ServingEngine.serve_fleet` — notably
+        ``engine="sharded"`` partitions each window across a process pool
+        (:mod:`repro.runtime.sharded`) with a byte-identical merged result.
         """
-        return self.serving.serve_fleet(model_name, traffic)
+        return self.serving.serve_fleet(model_name, traffic, engine=engine, workers=workers)
 
     # ------------------------------------------------------------------
     # sync: telemetry upload + billing reconciliation (Sec. III-B, III-C)

@@ -40,9 +40,12 @@ drift sweep — instead of one ``plan.run`` + ``observe_window`` pair per
 device.
 
 Engine convention (see :mod:`repro.dispatch`): ``serve_fleet`` takes
-``engine="batched"`` (default, the fleet sweep) or ``engine="oracle"``
-(the per-device :meth:`serve_batch` loop kept as the reference); the old
-``batched=`` boolean keyword still works as a deprecated alias.
+``engine="batched"`` (default, the fleet sweep), ``engine="oracle"``
+(the per-device :meth:`serve_batch` loop kept as the reference) or
+``engine="sharded"`` (the fleet sweep partitioned across a
+:class:`~repro.runtime.sharded.ShardedFleetRunner` process pool and merged
+at a barrier, byte-identical to ``"batched"``); the old ``batched=``
+boolean keyword still works as a deprecated alias.
 """
 
 from __future__ import annotations
@@ -54,7 +57,7 @@ import numpy as np
 
 from repro.billing import QuotaExceededError, UsageLedger
 from repro.devices import CostModel, Fleet
-from repro.dispatch import ENGINE_BATCHED, resolve_engine
+from repro.dispatch import ENGINE_BATCHED, ENGINE_SHARDED, resolve_engine
 from repro.observability import EdgeMonitor, FleetMonitor
 
 __all__ = ["ServeResult", "FleetServeReport", "ServingEngine"]
@@ -84,7 +87,14 @@ class ServeResult:
 
 @dataclass
 class FleetServeReport:
-    """Aggregate outcome of driving a whole fleet through traffic windows."""
+    """Aggregate outcome of driving a whole fleet through traffic windows.
+
+    ``shard_recoveries`` counts shards the sharded backend had to re-execute
+    in-process after a worker fault (:mod:`repro.runtime.sharded`); it stays
+    0 on fault-free runs and on the single-process engines, so report
+    equality across engines is unaffected while a recovered run is
+    explicitly flagged.
+    """
 
     model_name: str
     n_windows: int = 0
@@ -93,6 +103,7 @@ class FleetServeReport:
     denied_quota: int = 0
     battery_failures: int = 0
     devices_with_drift: int = 0
+    shard_recoveries: int = 0
     per_device: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def add(self, result: ServeResult) -> None:
@@ -118,6 +129,7 @@ class FleetServeReport:
             "denied_quota": self.denied_quota,
             "battery_failures": self.battery_failures,
             "devices_with_drift": self.devices_with_drift,
+            "shard_recoveries": self.shard_recoveries,
             "served_fraction": self.served / max(self.requested, 1),
         }
 
@@ -158,6 +170,9 @@ class ServingEngine:
         # Fleet-monitor cache for serve_fleet: rebuilt whenever the set of
         # monitor objects changes (e.g. a re-deploy replaced a monitor).
         self._fleet_monitor_cache: Optional[Tuple[tuple, FleetMonitor]] = None
+        # Optional pre-configured ShardedFleetRunner used by
+        # serve_fleet(engine="sharded"); None builds a default per call.
+        self.shard_runner = None
 
     # ------------------------------------------------------------------
     def compile_model(self, model_name: str, pipeline=None, apply_quantization: Optional[bool] = None):
@@ -304,7 +319,7 @@ class ServingEngine:
 
     def _serve_fleet_window(
         self, model_name: str, window: Mapping[str, np.ndarray], report: FleetServeReport, bits: int
-    ) -> None:
+    ) -> List[ServeResult]:
         """Serve one fleet-wide window with one battery + prediction + drift sweep.
 
         Admission (quota then battery) is the same two-stage prefix filter
@@ -355,7 +370,7 @@ class ServingEngine:
             costs.append(cost)
             granteds.append(granted)
         if not ids:
-            return
+            return []
         row_arr = np.asarray(rows, dtype=np.intp)
         served_arr = state.draw_batch_rows(
             row_arr,
@@ -387,19 +402,21 @@ class ServingEngine:
                 energies={device_id: np.full(served, cost.energy_j) for device_id, _, cost, served in monitored},
                 memories={device_id: np.full(served, cost.peak_memory_bytes) for device_id, _, cost, served in monitored},
             )
+        results: List[ServeResult] = []
         for device_id, x, n, cost, granted, served in admitted:
             monitor = self.monitors.get(device_id)
-            report.add(
-                ServeResult(
-                    device_id=device_id,
-                    model_name=model_name,
-                    requested=n,
-                    served=served,
-                    denied_quota=n - granted,
-                    battery_failures=granted - served,
-                    drift_detected=bool(monitor.any_drift()) if monitor is not None else False,
-                )
+            result = ServeResult(
+                device_id=device_id,
+                model_name=model_name,
+                requested=n,
+                served=served,
+                denied_quota=n - granted,
+                battery_failures=granted - served,
+                drift_detected=bool(monitor.any_drift()) if monitor is not None else False,
             )
+            report.add(result)
+            results.append(result)
+        return results
 
     def serve_fleet(
         self,
@@ -407,6 +424,7 @@ class ServingEngine:
         traffic: Union[Mapping[str, np.ndarray], Iterable[Mapping[str, np.ndarray]]],
         engine: Optional[str] = None,
         batched: Optional[bool] = None,
+        workers: Optional[int] = None,
     ) -> FleetServeReport:
         """Drive the whole fleet through one window — or a scenario of windows.
 
@@ -420,20 +438,34 @@ class ServingEngine:
         one compiled-plan sweep and one fleet drift sweep per
         (model, window).  ``engine="oracle"`` keeps the per-device
         :meth:`serve_batch` loop as the reference; both paths produce
-        identical reports, ledger/battery state and monitor histories.  The
-        boolean ``batched=`` keyword is a deprecated alias
-        (:mod:`repro.dispatch`).
+        identical reports, ledger/battery state and monitor histories.
+        ``engine="sharded"`` partitions each window across ``workers``
+        processes (a :class:`~repro.runtime.sharded.ShardedFleetRunner`;
+        assign :attr:`shard_runner` to customize backend/timeouts) and
+        merges at a barrier, byte-identical to the batched path — falling
+        back to it single-process when the pool is unavailable or the
+        shards would be degenerate.  The boolean ``batched=`` keyword is a
+        deprecated alias (:mod:`repro.dispatch`).
         """
-        engine = resolve_engine(engine, batched, owner="ServingEngine.serve_fleet")
+        engine = resolve_engine(
+            engine, batched, owner="ServingEngine.serve_fleet", extra=(ENGINE_SHARDED,)
+        )
         windows: Iterable[Mapping[str, np.ndarray]]
         if isinstance(traffic, Mapping):
             windows = [traffic]
         else:
             windows = traffic
+        runner = None
+        if engine == ENGINE_SHARDED:
+            from repro.runtime.sharded import ShardedFleetRunner
+
+            runner = self.shard_runner or ShardedFleetRunner(workers=workers)
         report = FleetServeReport(model_name=model_name)
         for window in windows:
             report.n_windows += 1
-            if engine == ENGINE_BATCHED:
+            if runner is not None:
+                runner.serve_window(self, model_name, window, report, bits=32)
+            elif engine == ENGINE_BATCHED:
                 self._serve_fleet_window(model_name, window, report, bits=32)
             else:
                 for device_id, x in window.items():

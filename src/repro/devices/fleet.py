@@ -71,7 +71,6 @@ class EdgeDevice:
         self._seed = int(seed)
         self.installed: Dict[str, InstalledArtifact] = {}
         self.telemetry_log: List[Dict[str, float]] = []
-        self._rng: Optional[np.random.Generator] = None
         self._cost_model_obj: Optional[CostModel] = None
         state = FleetState([device_id], [profile], seeds=[self._seed])
         if battery is not None:
@@ -90,7 +89,6 @@ class EdgeDevice:
         device._seed = int(state.seeds[idx])
         device.installed = {}
         device.telemetry_log = []
-        device._rng = None
         device._cost_model_obj = None
         device._bind(state, idx)
         return device
@@ -138,14 +136,19 @@ class EdgeDevice:
 
     @property
     def rng(self) -> np.random.Generator:
-        """Per-device RNG, seeded from the store's seed plane (lazy)."""
-        if self._rng is None:
-            self._rng = np.random.default_rng(self._seed)
-        return self._rng
+        """Per-device RNG stream, stored in the fleet's ``rng_streams`` plane.
+
+        Materialized lazily from the seed plane on first use.  Because the
+        *stream* (not just the seed) lives in the store, a sharded worker's
+        sub-store carries the live generator state out and back — the view
+        keeps its exact historical semantics while the plane makes the state
+        splittable/mergeable (:meth:`~repro.devices.state.FleetState.extract_rows`).
+        """
+        return self._state.rng_at(self._idx)
 
     @rng.setter
     def rng(self, generator: np.random.Generator) -> None:
-        self._rng = generator
+        self._state.set_rng(self._idx, generator)
 
     @property
     def _cost_model(self) -> CostModel:

@@ -35,6 +35,7 @@ plane                       dtype      semantics
 ``used_flash``              int64      bytes consumed by installed artifacts
 ``profile_idx``             int32      code into ``profile_table``
 ``seeds``                   int64      per-device RNG seed
+``rng_streams``             object     per-device ``np.random.Generator`` (lazy)
 ==========================  =========  ==========================================
 
 Static identity lives next to the planes: ``device_ids`` (row order),
@@ -71,10 +72,42 @@ Adding a new state column
 3. Extend the vectorized queries that should see it (and
    :meth:`context_table` if it is a scheduling signal), then add a
    plane-vs-object equivalence case to ``tests/devices/test_fleet_state.py``.
+
+Sharding a new plane
+--------------------
+The sharded multi-process backend (:mod:`repro.runtime.sharded`, ROADMAP
+item 2) splits a store into per-worker sub-stores with
+:meth:`FleetState.extract_rows` and re-absorbs worker results with
+:meth:`FleetState.merge_rows`.  When you add a plane, decide which of three
+categories it falls in — the split/merge machinery handles each uniformly:
+
+1. *Plain numeric/bool planes* (the common case): listing the plane in
+   ``_COPY_PLANES`` is enough — ``extract_rows`` fancy-indexes it into the
+   shard and ``merge_rows`` fancy-assigns it back.  Per-device *counters*
+   belong here: ``query_count`` and ``used_flash`` (the per-device quota
+   counters) have been planes since the columnar redesign, which is exactly
+   what lets a shard carry its admission state home without object-graph
+   surgery.  (Per-*grant* quota counters live in each device's MAC-chained
+   :class:`~repro.billing.UsageLedger` and travel as re-chained ledger
+   segments instead — see
+   :meth:`~repro.billing.UsageLedger.append_segment`.)
+2. *Interned-code planes* (``net_kind``, ``profile_idx``): the codes are
+   store-local, so ``extract_rows`` / ``merge_rows`` must translate them
+   through the destination store's interning table exactly like
+   :meth:`from_devices` does.  Follow the ``net_kind`` look-up-table pattern
+   in both methods.
+3. *Object planes* (``rng_streams``): ``extract_rows`` must **deep-copy**
+   the objects so worker-side mutation never aliases the parent store (the
+   in-process "inline" backend must behave byte-identically to a forked
+   worker, which gets a pickled copy anyway), and ``merge_rows`` adopts the
+   shard's objects by reference — the stream state comes home with the
+   shard.  ``from_devices`` adoption, by contrast, copies the *reference*:
+   a device keeps its exact stream when it moves between fleets.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -103,7 +136,13 @@ _COPY_PLANES = (
     "query_count",
     "used_flash",
     "seeds",
+    "rng_streams",
 )
+
+# Planes that need special handling when rows move between stores:
+# interned codes are store-local, generators must not alias across shards.
+_INTERNED_PLANES = ("net_kind",)
+_OBJECT_PLANES = ("rng_streams",)
 
 
 class FleetState:
@@ -159,6 +198,12 @@ class FleetState:
         )
         if self.seeds.shape != (n,):
             raise ValueError("seeds must have one entry per device")
+        # Per-device RNG *streams* (not just seeds): materialized lazily by
+        # rng_at so an untouched fleet stays ~15 numeric planes, but once a
+        # device has drawn, its generator state lives here — which is what
+        # lets extract_rows/merge_rows ship live streams to a worker shard
+        # and bring the advanced state home without object-graph surgery.
+        self.rng_streams = np.full(n, None, dtype=object)
 
     # ------------------------------------------------------------------
     # interning
@@ -228,12 +273,79 @@ class FleetState:
         for i, device in enumerate(devices):
             src, j = device._state, device._idx
             for plane in _COPY_PLANES:
-                if plane in ("net_kind",):
+                if plane in _INTERNED_PLANES:
                     continue  # codes are store-local; re-interned below
                 getattr(state, plane)[i] = getattr(src, plane)[j]
             state.net_kind[i] = state._intern_kind(src.net_kinds[int(src.net_kind[j])])
             state.profile_idx[i] = state._intern_profile(src.profile_table[int(src.profile_idx[j])])
         return state
+
+    # ------------------------------------------------------------------
+    # shard split / merge (repro.runtime.sharded)
+    # ------------------------------------------------------------------
+    def extract_rows(self, rows: Sequence[int]) -> "FleetState":
+        """A standalone sub-store holding copies of the selected rows.
+
+        The sharded backend's split primitive: every plane is copied (the
+        parent keeps its values), interned codes are re-interned into the
+        sub-store's own tables, and materialized RNG streams are
+        **deep-copied** so shard-side draws never advance the parent's
+        generators — an in-process shard must behave exactly like a forked
+        worker, which receives a pickled copy.  Row order in the sub-store
+        follows ``rows``.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        sub = FleetState(
+            [self.device_ids[int(i)] for i in rows],
+            [self.profile_at(int(i)) for i in rows],
+        )
+        for plane in _COPY_PLANES:
+            if plane in _INTERNED_PLANES or plane in _OBJECT_PLANES:
+                continue
+            getattr(sub, plane)[:] = getattr(self, plane)[rows]
+        kind_lut = np.array([sub._intern_kind(k) for k in self.net_kinds], dtype=np.int16)
+        sub.net_kind[:] = kind_lut[self.net_kind[rows]]
+        sub.rng_streams[:] = [
+            None if gen is None else copy.deepcopy(gen) for gen in self.rng_streams[rows]
+        ]
+        return sub
+
+    def merge_rows(self, sub: "FleetState", rows: Sequence[int]) -> None:
+        """Absorb a sub-store produced by :meth:`extract_rows` back into ``rows``.
+
+        The sharded backend's merge primitive: plane values are fancy-assigned
+        back, interned codes translate through *this* store's tables (a shard
+        may have interned kinds/profiles this store has not seen yet), and the
+        shard's RNG streams are adopted by reference — the advanced generator
+        state comes home with the shard.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        if len(rows) != sub.n_devices:
+            raise ValueError("rows and sub-store size mismatch")
+        for plane in _COPY_PLANES:
+            if plane in _INTERNED_PLANES or plane in _OBJECT_PLANES:
+                continue
+            getattr(self, plane)[rows] = getattr(sub, plane)
+        kind_lut = np.array([self._intern_kind(k) for k in sub.net_kinds], dtype=np.int16)
+        self.net_kind[rows] = kind_lut[sub.net_kind]
+        profile_lut = np.array([self._intern_profile(p) for p in sub.profile_table], dtype=np.int32)
+        self.profile_idx[rows] = profile_lut[sub.profile_idx]
+        self.rng_streams[rows] = sub.rng_streams
+
+    # ------------------------------------------------------------------
+    # per-row RNG streams
+    # ------------------------------------------------------------------
+    def rng_at(self, i: int) -> np.random.Generator:
+        """Row ``i``'s RNG stream, materialized from its seed on first use."""
+        gen = self.rng_streams[i]
+        if gen is None:
+            gen = np.random.default_rng(int(self.seeds[i]))
+            self.rng_streams[i] = gen
+        return gen
+
+    def set_rng(self, i: int, generator: np.random.Generator) -> None:
+        """Replace row ``i``'s RNG stream."""
+        self.rng_streams[i] = generator
 
     # ------------------------------------------------------------------
     # per-row scalar accessors (used by the object views)

@@ -18,17 +18,36 @@ unifies them: every dual-path entry point accepts
 The old spellings remain as thin aliases that emit
 :class:`DeprecationWarning` and forward to the ``engine`` form, so existing
 call sites keep working unchanged.
+
+Fleet-scale surfaces that can distribute work over a
+:class:`~repro.runtime.sharded.ShardedFleetRunner` additionally accept
+
+``engine="sharded"``
+    the multi-process backend: the fleet is partitioned into per-worker
+    shards, each shard runs the *batched* path independently, and the
+    results are merged at a barrier so the outcome is byte-identical to
+    ``engine="batched"`` (which in turn stays equivalent to the oracle).
+    Currently offered by :meth:`~repro.core.serving.ServingEngine.serve_fleet`
+    and :meth:`~repro.federated.engine.FederatedEngine.run_round`, both of
+    which take a ``workers=`` count and fall back to the single-process
+    batched path when a pool is unavailable or the shards would be
+    degenerate (one worker, one shard, an unreplayable compiled plan).
+
+``"sharded"`` is *opt-in per surface*: a call site declares support by
+passing ``extra=(ENGINE_SHARDED,)`` to :func:`resolve_engine`; surfaces
+that have no distributed implementation keep rejecting it.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import Optional, Sequence
 
-__all__ = ["ENGINE_BATCHED", "ENGINE_ORACLE", "resolve_engine"]
+__all__ = ["ENGINE_BATCHED", "ENGINE_ORACLE", "ENGINE_SHARDED", "resolve_engine"]
 
 ENGINE_BATCHED = "batched"
 ENGINE_ORACLE = "oracle"
+ENGINE_SHARDED = "sharded"
 _ENGINES = (ENGINE_BATCHED, ENGINE_ORACLE)
 
 
@@ -39,20 +58,24 @@ def resolve_engine(
     default: str = ENGINE_BATCHED,
     alias: str = "batched",
     owner: str = "",
+    extra: Sequence[str] = (),
 ) -> str:
     """Resolve the ``engine=`` keyword, honoring a deprecated boolean alias.
 
-    ``engine`` wins when given and must be ``"batched"`` or ``"oracle"``.
-    A non-``None`` ``batched`` (the legacy spelling) maps ``True`` to
-    ``"batched"`` and ``False`` to ``"oracle"`` with a
-    :class:`DeprecationWarning` naming the ``owner`` call site; passing both
-    is an error.  With neither given, ``default`` applies.
+    ``engine`` wins when given and must be ``"batched"``, ``"oracle"`` or
+    one of the surface-specific ``extra`` engines (e.g. ``"sharded"`` on
+    surfaces that pass ``extra=(ENGINE_SHARDED,)``).  A non-``None``
+    ``batched`` (the legacy spelling) maps ``True`` to ``"batched"`` and
+    ``False`` to ``"oracle"`` with a :class:`DeprecationWarning` naming the
+    ``owner`` call site; passing both is an error.  With neither given,
+    ``default`` applies.
     """
     if engine is not None and batched is not None:
         raise ValueError(f"{owner or 'call'}: pass engine=..., not both engine= and {alias}=")
     if engine is not None:
-        if engine not in _ENGINES:
-            raise ValueError(f"{owner or 'call'}: unknown engine {engine!r}; expected one of {_ENGINES}")
+        allowed = _ENGINES + tuple(extra)
+        if engine not in allowed:
+            raise ValueError(f"{owner or 'call'}: unknown engine {engine!r}; expected one of {allowed}")
         return engine
     if batched is not None:
         warnings.warn(

@@ -34,6 +34,9 @@ The legacy per-client loop is preserved behind
 spelling survives as a deprecated alias) so benchmarks can assert the
 vectorized path stays equivalent and at least an order of magnitude faster
 (``bench_e6``), mirroring the batched-serving guardrail of ``bench_e1``.
+``run_round(..., engine="sharded")`` additionally distributes the batched
+cohorts across a process pool (:mod:`repro.runtime.sharded`) and merges the
+delta stack at a barrier, byte-identical to the in-process batched path.
 
 **Extending the batched trainer** (the federated twin of the fused-kernel
 recipe in :mod:`repro.exchange.compiled`):
@@ -68,7 +71,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.dispatch import ENGINE_ORACLE, resolve_engine
+from repro.dispatch import ENGINE_ORACLE, ENGINE_SHARDED, resolve_engine
 from repro.nn import activations as A
 from repro.nn.layers import Dense, Dropout, Layer
 from repro.nn.model import Sequential
@@ -111,6 +114,10 @@ class RoundResult:
     n_dropouts: int = 0
     n_stragglers: int = 0
     n_byzantine: int = 0
+    # Shards the sharded backend re-executed in-process after a worker fault
+    # (repro.runtime.sharded); 0 on fault-free runs and single-process
+    # engines, so cross-engine result equality is unaffected.
+    shard_recoveries: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -124,6 +131,7 @@ class RoundResult:
             "n_dropouts": self.n_dropouts,
             "n_stragglers": self.n_stragglers,
             "n_byzantine": self.n_byzantine,
+            "shard_recoveries": self.shard_recoveries,
         }
 
 
@@ -805,6 +813,9 @@ class FederatedEngine:
         self._cost_model = None
         # hardware_latency per-sample times, keyed by device profile name.
         self._per_sample_time_cache: Dict[str, float] = {}
+        # Optional pre-configured repro.runtime.sharded.ShardedFleetRunner
+        # used by run_round(engine="sharded"); None builds a default per call.
+        self.shard_runner = None
 
     # -- fleet integration ----------------------------------------------
     def _device_for(self, client_id: str):
@@ -946,15 +957,29 @@ class FederatedEngine:
         round_index: int,
         device_context: Optional[Dict[str, Dict[str, object]]] = None,
         engine: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> RoundResult:
         """Execute one round and append its result to ``history``.
 
         ``engine="batched"`` (default) runs the vectorized cohort sweep;
         ``engine="oracle"`` runs the seed-era per-client loop kept as the
-        equivalence and performance baseline (:mod:`repro.dispatch`).
+        equivalence and performance baseline; ``engine="sharded"``
+        distributes the batched cohorts across ``workers`` processes (a
+        :class:`~repro.runtime.sharded.ShardedFleetRunner`; assign
+        :attr:`shard_runner` to customize backend/timeouts) and merges the
+        delta stack at a barrier, byte-identical to the batched path
+        (:mod:`repro.dispatch`).
         """
-        if resolve_engine(engine, None, owner="FederatedEngine.run_round") == ENGINE_ORACLE:
+        engine = resolve_engine(
+            engine, None, owner="FederatedEngine.run_round", extra=(ENGINE_SHARDED,)
+        )
+        if engine == ENGINE_ORACLE:
             return self._run_round_oracle(round_index, device_context=device_context)
+        runner = None
+        if engine == ENGINE_SHARDED:
+            from repro.runtime.sharded import ShardedFleetRunner
+
+            runner = self.shard_runner or ShardedFleetRunner(workers=workers)
         context = device_context if device_context is not None else self.fleet_context()
         selected = self.scheduler.select(list(self.clients), round_index, context=context)
         if not selected:
@@ -975,7 +1000,11 @@ class FederatedEngine:
             self.history.append(result)
             return result
 
-        deltas, losses, accs = self._collect_deltas(contributors)
+        if runner is not None:
+            deltas, losses, accs, shard_recoveries = runner.collect_deltas(self, contributors)
+        else:
+            deltas, losses, accs = self._collect_deltas(contributors)
+            shard_recoveries = 0
         n_byzantine = self._corrupt_deltas(contributors, deltas)
         decompressed, nbytes = self.compressor.roundtrip_batch(deltas)
         n_samples = np.array([self.clients[cid].n_samples for cid in contributors], dtype=np.float64)
@@ -1010,6 +1039,7 @@ class FederatedEngine:
             n_dropouts=n_dropouts,
             n_stragglers=n_stragglers,
             n_byzantine=n_byzantine,
+            shard_recoveries=shard_recoveries,
         )
         self.history.append(result)
         return result
@@ -1067,10 +1097,17 @@ class FederatedEngine:
         return result
 
     def run(
-        self, n_rounds: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
+        self,
+        n_rounds: int,
+        device_context: Optional[Dict[str, Dict[str, object]]] = None,
+        engine: Optional[str] = None,
+        workers: Optional[int] = None,
     ) -> List[RoundResult]:
         """Run ``n_rounds`` federated rounds."""
-        return [self.run_round(r, device_context=device_context) for r in range(n_rounds)]
+        return [
+            self.run_round(r, device_context=device_context, engine=engine, workers=workers)
+            for r in range(n_rounds)
+        ]
 
     # -- reporting --------------------------------------------------------
     def _evaluate(self) -> float:

@@ -1,4 +1,5 @@
-"""Portable module runtime: sandboxed pipelines, orchestration, offloading."""
+"""Portable module runtime: sandboxed pipelines, orchestration, offloading,
+and the sharded multi-process fleet backend (:mod:`repro.runtime.sharded`)."""
 
 from .modules import (
     Capability,
@@ -15,6 +16,7 @@ from .modules import (
 from .offload import OffloadBid, OffloadMarketplace, SplitDecision, find_best_split
 from .orchestrator import Orchestrator, PlacementDecision, RolloutPlan
 from .pipeline import ConditionalStage, Pipeline
+from .sharded import ShardedFleetRunner, shard_row_groups
 
 __all__ = [
     "Capability",
@@ -36,4 +38,6 @@ __all__ = [
     "OffloadBid",
     "SplitDecision",
     "find_best_split",
+    "ShardedFleetRunner",
+    "shard_row_groups",
 ]

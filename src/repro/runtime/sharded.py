@@ -1,0 +1,552 @@
+"""Sharded multi-process fleet backend with deterministic barrier merges.
+
+Closes ROADMAP item 2: after the columnar :class:`~repro.devices.FleetState`
+redesign made fleet state ~16 NumPy planes, this module partitions those
+planes into per-worker shards, runs the *batched* single-process engines
+independently per shard on a :mod:`multiprocessing` pool, and merges the
+results at a barrier so the outcome is **byte-identical** to
+``engine="batched"`` — which stays the in-process oracle (and itself stays
+equivalent to ``engine="oracle"``, the scalar loop).
+
+What gets sharded, and why it is byte-safe
+------------------------------------------
+*Serving* (``serve_fleet``): the window's devices are split into contiguous,
+balanced shards.  Every per-device outcome is independent — quota metering
+is per-device (each device owns its MAC chain), battery admission is a
+per-row closed form, compiled-plan ``run_many`` is per-window exact, and
+:class:`~repro.observability.FleetMonitor` sweeps equal the per-device loop
+— so shard composition cannot change any value.  At the barrier:
+
+* MAC-chained ledger segments are re-chained in shard order via
+  :meth:`~repro.billing.UsageLedger.append_segment` (each worker metered
+  against a copy of the parent ledger, so its segment is a valid chain
+  extension of the parent head);
+* drift events / telemetry come home as whole updated monitor objects,
+  re-installed in canonical device order (each device's monitor observed
+  exactly the slice the batched sweep would have fed it);
+* battery/counter planes merge back via
+  :meth:`~repro.devices.FleetState.merge_rows` (or are written in place by
+  the ``shared`` backend).
+
+*Federated* (``run_round``): work is distributed at **cohort granularity** —
+each homogeneous cohort's :func:`~repro.federated.engine.train_clients_batched`
+sweep runs whole inside one worker with identical inputs, because splitting
+a cohort would change the stacked tensor geometry (``n_max`` padding, GEMM
+widths) and risk last-ulp drift.  Fallback cohorts (stateful optimizer
+instances) train in the parent so their cross-round client state persists;
+idle cohorts keep their zero rows.  Delta rows are placed back by cohort
+indices, and the aggregation that follows (NumPy's pairwise-stable
+summation inside the aggregator) runs in the parent on the merged stack —
+bitwise the same stack the batched path builds.
+
+Backends (``backend=`` kwarg)
+-----------------------------
+``"pickle"``   chunked pickling over a process pool: each worker receives a
+               pickled sub-store (:meth:`FleetState.extract_rows`) plus
+               deep-copied ledgers/monitors, and ships results back.
+               Portable to any start method.
+``"shared"``   shared-memory NumPy views: the serving-mutable planes
+               (``level_j``, ``query_count``) are rebound onto anonymous
+               shared ``mmap`` buffers before the pool forks, so workers
+               write admission results in place and nothing but results /
+               ledger segments / monitors travels back.  Requires the
+               ``fork`` start method; degrades to ``"pickle"`` elsewhere.
+``"inline"``   the full shard/split/merge machinery executed in-process —
+               no pool.  Exists so differential and property tests can
+               exercise shard semantics deterministically and cheaply; it
+               must be (and is asserted) byte-identical to the pooled
+               backends.
+``"auto"``     ``"pickle"`` when a pool is available, else ``"inline"``.
+
+Fault tolerance — never a partial merge
+---------------------------------------
+Workers can raise, hang or die mid-task.  The runner collects *all* shard
+results before any merge: a failed/hung/killed shard is retried once on a
+fresh pool (``retries=``), then re-executed deterministically in-process.
+Only when every shard has a result does the barrier merge run; recovered
+shards are counted in the caller's report/result
+(``FleetServeReport.shard_recoveries`` / ``RoundResult.shard_recoveries``).
+If even the in-process re-execution raises (a genuinely poisoned shard),
+the exception propagates with the parent's ledgers, monitors and planes
+untouched (the ``shared`` backend restores its plane snapshot first).
+
+Test-only fault injection: set ``REPRO_SHARD_FAULT="<shard>:<mode>[:any]"``
+with mode ``raise`` / ``hang`` / ``exit``; without the ``:any`` scope the
+fault only fires inside pool workers, so in-process recovery succeeds.
+
+``workers=`` resolution order: explicit argument, else the
+``REPRO_TEST_WORKERS`` environment variable, else ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import copy
+import mmap
+import multiprocessing as mp
+import os
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ShardedFleetRunner", "shard_row_groups", "FAULT_ENV", "WORKERS_ENV"]
+
+FAULT_ENV = "REPRO_SHARD_FAULT"
+WORKERS_ENV = "REPRO_TEST_WORKERS"
+
+_BACKENDS = ("auto", "pickle", "shared", "inline")
+
+# Planes serve-sweeps mutate; the shared backend rebinds exactly these onto
+# anonymous shared mmap buffers (and snapshots them for fault recovery).
+_SHARED_SERVE_PLANES = ("level_j", "query_count")
+
+# Parent-side FleetState inherited by fork()ed pool workers of the shared
+# backend (set immediately before the pool is created, cleared after).
+_SHARED_STATE = None
+
+
+def shard_row_groups(n_items: int, workers: int) -> List[np.ndarray]:
+    """Contiguous, balanced, non-empty index groups over ``range(n_items)``.
+
+    At most ``workers`` groups; sizes differ by at most one, so ragged
+    fleets (n not divisible by workers) split without empty shards.
+    """
+    if n_items <= 0:
+        return []
+    workers = max(1, int(workers))
+    return list(np.array_split(np.arange(n_items), min(workers, n_items)))
+
+
+def _env_workers() -> int:
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    try:
+        return max(0, int(raw)) if raw else 0
+    except ValueError:
+        return 0
+
+
+def _maybe_inject_fault(shard_index: int, parent_pid: int) -> None:
+    """Honor the REPRO_SHARD_FAULT test hook (no-op when the env is unset)."""
+    spec = os.environ.get(FAULT_ENV, "")
+    if not spec:
+        return
+    parts = spec.split(":")
+    if len(parts) < 2 or int(parts[0]) != shard_index:
+        return
+    scope = parts[2] if len(parts) > 2 else "worker"
+    if scope == "worker" and os.getpid() == parent_pid:
+        return  # only poison pool workers; in-process recovery succeeds
+    mode = parts[1]
+    if mode == "raise":
+        raise RuntimeError(f"injected fault in shard {shard_index}")
+    if mode == "hang":
+        time.sleep(3600.0)
+        return
+    if mode == "exit":
+        os._exit(13)
+    raise ValueError(f"unknown {FAULT_ENV} mode {mode!r}")
+
+
+# ---------------------------------------------------------------------------
+# worker task bodies (module-level: picklable under any start method)
+# ---------------------------------------------------------------------------
+
+
+def _serve_shard_task(payload: Dict[str, object]) -> Dict[str, object]:
+    """One serving shard: run the batched fleet-window sweep on a sub-world."""
+    _maybe_inject_fault(payload["shard_index"], payload["parent_pid"])  # type: ignore[arg-type]
+    from repro.core.serving import FleetServeReport, ServingEngine
+    from repro.devices.fleet import Fleet
+
+    state = payload["state"]
+    if state is None:  # shared backend: the fork()ed parent store, planes in shm
+        state = _SHARED_STATE
+    fleet = Fleet.from_state(state)
+    engine = ServingEngine(
+        fleet,
+        cost_model=payload["cost_model"],
+        models=payload["models"],
+        ledgers=payload["ledgers"],
+        monitors=payload["monitors"],
+    )
+    model_name: str = payload["model_name"]  # type: ignore[assignment]
+    if payload["plan_options"] is not None:
+        pipeline, apply_quantization = payload["plan_options"]  # type: ignore[misc]
+        engine.compile_model(model_name, pipeline=pipeline, apply_quantization=apply_quantization)
+    ledger_base = {device_id: len(ledger.entries) for device_id, ledger in engine.ledgers.items()}
+    report = FleetServeReport(model_name=model_name)
+    results = engine._serve_fleet_window(
+        model_name, dict(payload["items"]), report, bits=payload["bits"]  # type: ignore[arg-type]
+    )
+    return {
+        "shard_index": payload["shard_index"],
+        "results": results,
+        "ledger_segments": {
+            device_id: ledger.export_segment(ledger_base[device_id])
+            for device_id, ledger in engine.ledgers.items()
+        },
+        "monitors": dict(engine.monitors),
+        "state": payload["state"],  # the mutated sub-store (None on shared)
+    }
+
+
+def _train_shard_task(payload: Dict[str, object]) -> Dict[str, object]:
+    """One federated shard: a whole batched cohort trained in lock-step."""
+    _maybe_inject_fault(payload["shard_index"], payload["parent_pid"])  # type: ignore[arg-type]
+    from repro.federated.engine import train_clients_batched
+
+    deltas, losses, accs = train_clients_batched(payload["model"], payload["clients"])
+    return {
+        "shard_index": payload["shard_index"],
+        "positions": payload["positions"],
+        "deltas": deltas,
+        "losses": losses,
+        "accs": accs,
+    }
+
+
+# ---------------------------------------------------------------------------
+# shared-memory plane handle (fork backend)
+# ---------------------------------------------------------------------------
+
+
+class _SharedServePlanes:
+    """Rebind the serve-mutable planes onto anonymous shared mmap buffers.
+
+    Created *before* the pool forks so workers inherit the buffers; rows are
+    shard-disjoint, so concurrent writes never race.  Keeps a private
+    snapshot for fault recovery, and :meth:`close` copies the final values
+    back into ordinary private arrays.
+    """
+
+    def __init__(self, state) -> None:
+        self.state = state
+        self.snapshots = {p: getattr(state, p).copy() for p in _SHARED_SERVE_PLANES}
+        self._maps: List[mmap.mmap] = []
+        for plane in _SHARED_SERVE_PLANES:
+            src = getattr(state, plane)
+            buf = mmap.mmap(-1, max(src.nbytes, 1))  # MAP_SHARED | MAP_ANONYMOUS
+            arr = np.frombuffer(buf, dtype=src.dtype, count=src.size).reshape(src.shape)
+            arr[:] = src
+            setattr(state, plane, arr)
+            self._maps.append(buf)
+
+    def restore_rows(self, rows: np.ndarray) -> None:
+        """Reset the given rows to their pre-dispatch values."""
+        for plane in _SHARED_SERVE_PLANES:
+            getattr(self.state, plane)[rows] = self.snapshots[plane][rows]
+
+    def close(self) -> None:
+        """Copy final values back into private arrays and release the maps."""
+        for plane in _SHARED_SERVE_PLANES:
+            setattr(self.state, plane, np.array(getattr(self.state, plane), copy=True))
+        for buf in self._maps:
+            buf.close()
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+class ShardedFleetRunner:
+    """Partition fleet work across processes; merge byte-identically.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``None``/0 resolves ``REPRO_TEST_WORKERS`` then
+        ``os.cpu_count()``.  The effective count is capped by the number of
+        shardable items.
+    backend:
+        ``"auto"`` / ``"pickle"`` / ``"shared"`` / ``"inline"`` (module
+        docstring).  ``"shared"`` only affects serving sweeps; federated
+        cohort tasks always travel by pickle (they carry no plane writes).
+    timeout_s:
+        Per-dispatch deadline for collecting pool results; a shard that
+        produced nothing by then (hung or killed worker) is recovered.
+    retries:
+        How many fresh-pool retry passes failed shards get before the
+        deterministic in-process fallback (0 goes straight to in-process).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        backend: str = "auto",
+        timeout_s: float = 60.0,
+        retries: int = 1,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        self.workers = workers
+        self.backend = backend
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+
+    # -- resolution ------------------------------------------------------
+    def resolve_workers(self, n_items: int) -> int:
+        workers = self.workers
+        if not workers or workers <= 0:
+            workers = _env_workers() or os.cpu_count() or 1
+        return max(1, min(int(workers), max(n_items, 1)))
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in mp.get_all_start_methods()
+
+    def _resolve_backend(self) -> str:
+        """The effective backend for a pooled dispatch."""
+        if self.backend == "inline":
+            return "inline"
+        try:
+            mp.get_context()  # a context at all
+        except Exception:  # pragma: no cover - exotic platforms
+            return "inline"
+        if self.backend == "shared":
+            return "shared" if self._fork_available() else "pickle"
+        return "pickle"
+
+    def _mp_context(self):
+        return mp.get_context("fork") if self._fork_available() else mp.get_context()
+
+    # -- generic dispatch ------------------------------------------------
+    def _run_shards(
+        self,
+        payloads: Sequence[Dict[str, object]],
+        task_fn: Callable[[Dict[str, object]], Dict[str, object]],
+        pooled: bool,
+        inline_prep: Optional[Callable[[Dict[str, object]], Dict[str, object]]] = None,
+        on_retry: Optional[Callable[[List[int]], None]] = None,
+    ) -> Tuple[List[Dict[str, object]], Tuple[int, ...]]:
+        """Run one payload per shard; return (results in shard order, recovered).
+
+        All shards produce a result before this returns — pool failures
+        (exceptions, hangs, killed workers) drain through one fresh-pool
+        retry pass per ``retries`` and finally the deterministic in-process
+        fallback.  An in-process failure propagates, leaving the caller's
+        world unmerged.  ``on_retry`` runs after each pool teardown with the
+        still-failed shard indices (the shared backend restores planes
+        there); ``inline_prep`` rewrites a payload for in-process execution.
+        """
+        n = len(payloads)
+        results: List[Optional[Dict[str, object]]] = [None] * n
+        if not pooled or n < 2:
+            prep = inline_prep or (lambda p: p)
+            return [task_fn(prep(p)) for p in payloads], ()
+
+        ctx = self._mp_context()
+        failed = list(range(n))
+        recovered: List[int] = []
+        passes = 1 + max(0, self.retries)
+        for attempt in range(passes):
+            if not failed:
+                break
+            pool = ctx.Pool(processes=min(self.resolve_workers(len(failed)), len(failed)))
+            try:
+                handles = [(i, pool.apply_async(task_fn, (payloads[i],))) for i in failed]
+                deadline = time.monotonic() + self.timeout_s
+                still: List[int] = []
+                for i, handle in handles:
+                    remaining = max(0.05, deadline - time.monotonic())
+                    try:
+                        results[i] = handle.get(remaining)
+                    except Exception:
+                        # Raised in the worker, timed out (hung), or the
+                        # worker died and the task never produced a result.
+                        still.append(i)
+            finally:
+                pool.terminate()
+                pool.join()
+            if attempt > 0:
+                recovered.extend(i for i in failed if i not in still)
+            failed = still
+            if failed and on_retry is not None:
+                on_retry(failed)
+        if failed:
+            prep = inline_prep or (lambda p: p)
+            for i in failed:
+                results[i] = task_fn(prep(payloads[i]))  # in-process; raises propagate
+            recovered.extend(failed)
+        return results, tuple(sorted(recovered))  # type: ignore[return-value]
+
+    # -- serving ---------------------------------------------------------
+    def serve_window(
+        self,
+        engine,
+        model_name: str,
+        window: Mapping[str, np.ndarray],
+        report,
+        bits: int = 32,
+    ) -> None:
+        """Serve one fleet window sharded; merge into ``report`` and the world.
+
+        Byte-identical to ``engine._serve_fleet_window`` on the same window:
+        per-device results land in window order, ledgers extend by the same
+        entries, monitors observe the same slices, planes end in the same
+        state.  Degenerate cases (single worker, <2 window devices, a
+        compiled plan whose lowering options were not recorded) fall back to
+        the single-process sweep directly.
+        """
+        global _SHARED_STATE
+        items: List[Tuple[str, np.ndarray]] = []
+        for device_id, x in window.items():
+            x = np.asarray(x)
+            if x.shape[0]:
+                items.append((device_id, x))
+        if not items:
+            return
+        n = len(items)
+        workers = self.resolve_workers(n)
+        # A plan installed without recorded lowering options cannot be
+        # recompiled identically in a worker; serve it in-process.
+        plan_unreplayable = model_name in engine.plans and model_name not in engine._plan_options
+        if workers < 2 or n < 2 or plan_unreplayable:
+            engine._serve_fleet_window(model_name, dict(items), report, bits=bits)
+            return
+        mode = self.backend if self.backend == "inline" else self._resolve_backend()
+        if mode == "inline" and self.backend != "inline":
+            # No usable pool: graceful single-process fallback.
+            engine._serve_fleet_window(model_name, dict(items), report, bits=bits)
+            return
+
+        state = engine.fleet.state
+        model = engine.models[model_name]
+        plan_options = engine._plan_options.get(model_name) if model_name in engine.plans else None
+        shared = _SharedServePlanes(state) if mode == "shared" else None
+        groups = shard_row_groups(n, workers)
+        payloads: List[Dict[str, object]] = []
+        shard_rows: List[np.ndarray] = []
+        for shard_index, group in enumerate(groups):
+            ids = [items[k][0] for k in group]
+            rows = engine.fleet.rows_for(ids)
+            shard_rows.append(rows)
+            payloads.append(
+                {
+                    "shard_index": shard_index,
+                    "parent_pid": os.getpid(),
+                    "model_name": model_name,
+                    "bits": bits,
+                    "items": [items[k] for k in group],
+                    "cost_model": engine.cost_model,
+                    "models": {model_name: model},
+                    "plan_options": plan_options,
+                    # Deep copies: workers get pickled copies anyway; the
+                    # inline backend must mutate copies too so the merge
+                    # below is the only thing that touches the parent world.
+                    "ledgers": copy.deepcopy(
+                        {d: engine.ledgers[d] for d in ids if d in engine.ledgers}
+                    ),
+                    "monitors": copy.deepcopy(
+                        {d: engine.monitors[d] for d in ids if d in engine.monitors}
+                    ),
+                    "state": None if mode == "shared" else state.extract_rows(rows),
+                    "rows": rows,
+                }
+            )
+
+        def inline_prep(payload: Dict[str, object]) -> Dict[str, object]:
+            if payload["state"] is None:  # shared shard recovered in-process
+                assert shared is not None
+                shared.restore_rows(payload["rows"])  # type: ignore[arg-type]
+                payload = dict(payload)
+                payload["state"] = state.extract_rows(payload["rows"])  # type: ignore[arg-type]
+            return payload
+
+        def on_retry(failed: List[int]) -> None:
+            if shared is not None:  # undo partial writes of dead workers
+                for i in failed:
+                    shared.restore_rows(shard_rows[i])
+
+        if mode == "shared":
+            _SHARED_STATE = state  # inherited by the fork()ed pool workers
+        try:
+            task_results, recovered = self._run_shards(
+                payloads,
+                _serve_shard_task,
+                pooled=mode != "inline",
+                inline_prep=inline_prep,
+                on_retry=on_retry,
+            )
+        except Exception:
+            if shared is not None:
+                shared.restore_rows(np.concatenate(shard_rows))
+            raise
+        finally:
+            _SHARED_STATE = None
+            if shared is not None:
+                shared.close()
+
+        # Barrier merge, in shard (= canonical window) order.  Nothing above
+        # touched the parent world, so a raise before this point is clean.
+        for shard_index, task_result in enumerate(task_results):
+            sub_state = task_result["state"]
+            if sub_state is not None:
+                state.merge_rows(sub_state, shard_rows[shard_index])
+            for device_id, segment in task_result["ledger_segments"].items():  # type: ignore[union-attr]
+                if segment:
+                    engine.ledgers[device_id].append_segment(segment)
+            for device_id, monitor in task_result["monitors"].items():  # type: ignore[union-attr]
+                engine.monitors[device_id] = monitor
+            for result in task_result["results"]:  # type: ignore[union-attr]
+                report.add(result)
+        report.shard_recoveries += len(recovered)
+
+    # -- federated -------------------------------------------------------
+    def collect_deltas(
+        self, fed_engine, contributors: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Sharded twin of ``FederatedEngine._collect_deltas``.
+
+        Batched cohorts are dispatched whole (one worker each, so the
+        stacked-tensor geometry — and therefore every float — matches the
+        single-process sweep exactly); fallback cohorts train in the parent
+        because their clients may carry cross-round optimizer state; idle
+        cohorts keep their zero rows.  Returns
+        ``(deltas, losses, accs, shard_recoveries)`` with rows placed by
+        cohort indices, bitwise equal to the batched path.
+        """
+        from repro.federated.engine import partition_cohorts
+
+        clients = [fed_engine.clients[cid] for cid in contributors]
+        n_params = fed_engine.global_model.get_flat_weights().size
+        deltas = np.zeros((len(clients), n_params))
+        losses = np.zeros(len(clients))
+        accs = np.zeros(len(clients))
+        batched_cohorts = []
+        fallback_positions: List[int] = []
+        for cohort in partition_cohorts(fed_engine.global_model, clients):
+            if cohort.kind == "idle":
+                continue
+            if cohort.batched:
+                batched_cohorts.append(list(cohort.indices))
+            else:
+                fallback_positions.extend(cohort.indices)
+
+        recovered: Tuple[int, ...] = ()
+        if batched_cohorts:
+            workers = self.resolve_workers(len(batched_cohorts))
+            mode = self.backend if self.backend == "inline" else self._resolve_backend()
+            pooled = mode != "inline" and workers >= 2 and len(batched_cohorts) >= 2
+            payloads = [
+                {
+                    "shard_index": shard_index,
+                    "parent_pid": os.getpid(),
+                    "model": fed_engine.global_model,
+                    "clients": [clients[p] for p in positions],
+                    "positions": positions,
+                }
+                for shard_index, positions in enumerate(batched_cohorts)
+            ]
+            task_results, recovered = self._run_shards(payloads, _train_shard_task, pooled=pooled)
+            for task_result in task_results:
+                positions = task_result["positions"]
+                deltas[positions] = task_result["deltas"]
+                losses[positions] = task_result["losses"]
+                accs[positions] = task_result["accs"]
+        for position in fallback_positions:
+            update = clients[position].train_round(fed_engine.global_model)
+            deltas[position] = update.delta
+            losses[position] = update.local_loss
+            accs[position] = update.metrics.get("local_accuracy", 0.0)
+        return deltas, losses, accs, len(recovered)

@@ -1,0 +1,175 @@
+"""Lock-step suite for the shardable planes added in the PR-6 follow-on.
+
+PR 6 left two pieces of per-device state outside the columnar store: RNG
+*streams* (only the seeds were planes; the live generator hid on the
+``EdgeDevice`` view) and made the per-device quota counters implicit.  Both
+now live in :class:`~repro.devices.FleetState` planes so
+``extract_rows`` / ``merge_rows`` can carry them across process boundaries.
+
+The hypothesis property drives random op sequences through a store-backed
+view and a standalone row-view oracle in lock-step and asserts the streams
+and counters never diverge — including across an extract / mutate / merge
+round-trip (the sharded backend's exact lifecycle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import EdgeDevice, Fleet, FleetState, get_profile
+
+
+# ---------------------------------------------------------------------------
+# rng streams are plane-backed
+# ---------------------------------------------------------------------------
+
+
+def test_rng_stream_lives_in_the_plane():
+    fleet = Fleet.random(4, seed=0)
+    device = fleet.get("dev-0001")
+    assert fleet.state.rng_streams[1] is None  # lazy until first use
+    first = device.rng.random(3)
+    assert fleet.state.rng_streams[1] is not None
+    # The view reads the same generator object on every access.
+    assert device.rng is fleet.state.rng_streams[1]
+    # And the stream continues (no re-seeding between accesses).
+    oracle = np.random.default_rng(int(fleet.state.seeds[1]))
+    np.testing.assert_array_equal(first, oracle.random(3))
+    np.testing.assert_array_equal(device.rng.random(5), oracle.random(5))
+
+
+def test_rng_setter_installs_generator_in_plane():
+    device = EdgeDevice("d0", get_profile("mcu-m4"), seed=7)
+    generator = np.random.default_rng(1234)
+    device.rng = generator
+    assert device._state.rng_streams[0] is generator
+    assert device.rng is generator
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_devices=st.integers(1, 12),
+    ops=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(1, 8)),  # (device, n_draws)
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_rng_streams_lockstep_with_oracle(seed, n_devices, ops):
+    """Interleaved draws on many devices match per-seed oracle generators."""
+    fleet = Fleet.random(n_devices, seed=seed)
+    oracles = {
+        i: np.random.default_rng(int(fleet.state.seeds[i])) for i in range(n_devices)
+    }
+    ids = fleet.state.device_ids
+    for device_index, n_draws in ops:
+        i = device_index % n_devices
+        got = fleet.get(ids[i]).rng.random(n_draws)
+        np.testing.assert_array_equal(got, oracles[i].random(n_draws))
+
+
+# ---------------------------------------------------------------------------
+# extract / mutate / merge round-trips (the sharded lifecycle)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n_devices=st.integers(2, 16),
+    pre_draws=st.integers(0, 5),
+    sub_draws=st.integers(1, 6),
+    queries=st.integers(0, 50),
+)
+def test_extract_merge_carries_streams_and_counters(
+    seed, n_devices, pre_draws, sub_draws, queries
+):
+    """extract_rows deep-copies live streams (parent unaffected while the
+    shard works); merge_rows adopts the advanced streams and the mutated
+    quota-counter planes, leaving the world exactly as if the draws and
+    queries had happened in-process."""
+    fleet = Fleet.random(n_devices, seed=seed)
+    state = fleet.state
+    ids = state.device_ids
+    rows = np.arange(0, n_devices, 2)  # every other device into the shard
+
+    # Oracles replay everything that should have happened per device.
+    oracles = {i: np.random.default_rng(int(state.seeds[i])) for i in range(n_devices)}
+    for i in range(n_devices):
+        if pre_draws:
+            np.testing.assert_array_equal(
+                fleet.get(ids[i]).rng.random(pre_draws), oracles[i].random(pre_draws)
+            )
+
+    parent_states = {
+        int(i): state.rng_streams[i].bit_generator.state
+        for i in rows
+        if state.rng_streams[i] is not None
+    }
+    sub = state.extract_rows(rows)
+    for k, i in enumerate(rows):  # deep copy: distinct generator objects
+        if state.rng_streams[i] is not None:
+            assert sub.rng_streams[k] is not state.rng_streams[i]
+
+    sub_fleet = Fleet.from_state(sub)
+    for k, i in enumerate(rows):
+        got = sub_fleet.get(ids[i]).rng.random(sub_draws)
+        np.testing.assert_array_equal(got, oracles[i].random(sub_draws))
+        sub.query_count[k] += queries
+
+    # The parent's streams did not advance while the shard worked.
+    for i, snapshot in parent_states.items():
+        assert state.rng_streams[i].bit_generator.state == snapshot
+
+    state.merge_rows(sub, rows)
+
+    # Post-merge: every device continues exactly where the oracle says.
+    for i in range(n_devices):
+        np.testing.assert_array_equal(
+            fleet.get(ids[i]).rng.random(3), oracles[i].random(3)
+        )
+    np.testing.assert_array_equal(state.query_count[rows], sub.query_count)
+
+
+def test_extract_merge_quota_and_flash_counter_planes():
+    """query_count and used_flash (the per-device quota counters) travel
+    through the shard lifecycle; per-grant counters travel separately as
+    ledger segments (billing.metering.append_segment)."""
+    fleet = Fleet.random(6, seed=1)
+    state = fleet.state
+    state.query_count[:] = np.arange(6) * 10
+    state.used_flash[:] = np.arange(6) * 100
+    rows = np.array([1, 3, 4])
+    sub = state.extract_rows(rows)
+    np.testing.assert_array_equal(sub.query_count, [10, 30, 40])
+    np.testing.assert_array_equal(sub.used_flash, [100, 300, 400])
+    sub.query_count += 5
+    sub.used_flash += 7
+    state.merge_rows(sub, rows)
+    np.testing.assert_array_equal(state.query_count, [0, 15, 20, 35, 45, 50])
+    np.testing.assert_array_equal(state.used_flash, [0, 107, 200, 307, 407, 500])
+
+
+def test_extract_rows_translates_interned_codes():
+    """Interned-code planes (net_kind) re-intern into the sub-store's own
+    tables, so shards built from arbitrary row subsets keep per-device
+    network kinds even when the parent's code table is wider."""
+    from repro.devices import NetworkCondition, NetworkType
+
+    fleet = Fleet.random(9, seed=2)
+    state = fleet.state
+    for i, kind in enumerate(
+        [NetworkType.WIFI, NetworkType.CELLULAR, NetworkType.OFFLINE] * 3
+    ):
+        state.set_network(i, NetworkCondition.of(kind))
+    rows = np.array([2, 5, 8])  # all OFFLINE: sub-store interns one kind
+    sub = state.extract_rows(rows)
+    for k, i in enumerate(rows):
+        assert sub.network_at(k).kind == state.network_at(i).kind
+    # Merge back after changing one row's kind in the shard.
+    sub.set_network(1, NetworkCondition.of(NetworkType.WIFI))
+    state.merge_rows(sub, rows)
+    assert state.network_at(5).kind == NetworkType.WIFI

@@ -1,0 +1,94 @@
+"""Shared deterministic world builders for the sharded-backend test suites."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.billing import BillingBackend, PricingPlan, UsageLedger
+from repro.core.serving import ServingEngine
+from repro.data import ClientData
+from repro.devices import CostModel, Fleet
+from repro.federated.client import FederatedClient
+from repro.federated.engine import FederatedEngine
+from repro.nn import make_mlp
+from repro.observability import EdgeMonitor
+
+
+def serving_world(seed: int, n_devices: int, compile_plan: bool = True, quota: int = 40):
+    """A fleet + engine + one ragged traffic window, fully deterministic.
+
+    Mixed device profiles and network kinds come from ``Fleet.random``;
+    every third device has no monitor and every fifth no ledger, so shards
+    carry ragged per-device state.
+    """
+    fleet = Fleet.random(n_devices, seed=seed)
+    model = make_mlp(8, 4, hidden=(16,), seed=seed)
+    billing = BillingBackend()
+    billing.register_plan(PricingPlan(model_name="m"))
+    rng = np.random.default_rng(seed + 1)
+    ledgers, monitors = {}, {}
+    for i, device in enumerate(fleet):
+        if i % 5 != 4:
+            ledger = UsageLedger(device.device_id, billing.enroll_device(device.device_id))
+            ledger.add_grant(
+                billing.sell_package(device.device_id, "m", quota),
+                backend_key=billing.signing_key(),
+            )
+            ledgers[device.device_id] = ledger
+        if i % 3 != 2:
+            monitors[device.device_id] = EdgeMonitor(
+                device.device_id, reference_inputs=rng.normal(size=(60, 8))
+            )
+    engine = ServingEngine(
+        fleet, cost_model=CostModel(), models={"m": model}, ledgers=ledgers, monitors=monitors
+    )
+    if compile_plan:
+        engine.compile_model("m")
+    window = {
+        device.device_id: rng.normal(size=(int(rng.integers(0, 9)), 8)) for device in fleet
+    }
+    return engine, window
+
+
+def serving_snapshot(engine):
+    """Everything the barrier merge could get wrong, in comparable form."""
+    state = engine.fleet.state
+    return {
+        "entries": {
+            device_id: [
+                (e.index, e.model_name, e.count, e.timestamp, e.grant_id, e.prev_mac, e.mac)
+                for e in ledger.entries
+            ]
+            for device_id, ledger in engine.ledgers.items()
+        },
+        "used": {d: ledger.used() for d, ledger in engine.ledgers.items()},
+        "level_j": state.level_j.tobytes(),
+        "query_count": state.query_count.tobytes(),
+        "drift_events": {d: m.drift_events for d, m in engine.monitors.items()},
+        "summary": engine.fleet.summary(),
+    }
+
+
+def federated_world(seed: int, n_clients: int) -> FederatedEngine:
+    """Mixed-optimizer / mixed-config clients => several batched cohorts."""
+    rng = np.random.default_rng(seed)
+    clients = []
+    for i in range(n_clients):
+        n = int(rng.integers(0, 20))  # zero-sample clients hit the idle cohort
+        x = rng.normal(size=(n, 6))
+        y = rng.integers(0, 3, n)
+        clients.append(
+            FederatedClient(
+                ClientData(f"c{i}", x, y),
+                seed=seed + i,
+                optimizer=["sgd", "momentum", "adam"][i % 3],
+                batch_size=4 if i % 2 else 8,
+                local_epochs=1 + (i % 2),
+            )
+        )
+    model = make_mlp(6, 3, hidden=(10,), seed=seed)
+    return FederatedEngine(model, clients)
+
+
+def run_rounds(fed, n_rounds, **kwargs):
+    return [fed.run_round(r, **kwargs) for r in range(n_rounds)]
