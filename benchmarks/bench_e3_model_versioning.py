@@ -49,7 +49,7 @@ def test_e3_artifact_count_grows_multiplicatively(n_devices):
 
 
 def test_e3_retraining_retriggers_pipelines(benchmark):
-    """Re-registering the base fires the optimization pipeline and marks stale variants."""
+    """Re-registering the base fires the optimization pipeline and clears staleness."""
     registry = ModelRegistry()
     manager = TriggerManager(registry)
     from repro.nn import make_mlp
@@ -61,10 +61,114 @@ def test_e3_retraining_retriggers_pipelines(benchmark):
     def retrain_cycle():
         retrained = model.clone(copy_weights=True)
         retrained.layers[0].params["W"] += 0.001
-        base, derived = manager.register_and_trigger(retrained)
-        return len(derived), len(registry.stale_variants("retrain-me"))
+        base = registry.register_model(retrained)
+        stale_before = len(registry.stale_variants("retrain-me"))
+        derived = manager.on_base_registered(base)
+        stale_after = len(registry.stale_variants("retrain-me"))
+        return len(derived), stale_before, stale_after
 
-    derived_count, stale_count = benchmark(retrain_cycle)
+    derived_count, stale_before, stale_after = benchmark(retrain_cycle)
     assert derived_count == 3
-    assert stale_count >= 3
+    # The new base alone marks the previous base's variants stale; re-running
+    # the pipeline from it re-derives matching (kind, recipe) variants and
+    # clears every one of them.
+    assert stale_before >= 3
+    assert stale_after == 0
     benchmark.extra_info.update({"derived_per_retrain": derived_count})
+
+
+def _lifecycle_world(n_devices: int, seed: int = 21):
+    """A released + deployed fleet world for the closed-loop guardrail."""
+    from repro.core import PlatformConfig, TinyMLOpsPlatform
+    from repro.data import make_gaussian_blobs, partition_dirichlet
+    from repro.devices import Fleet
+    from repro.nn import make_mlp
+
+    ds = make_gaussian_blobs(900, 12, 4, seed=seed)
+    train, test = ds.split(0.3, seed=seed)
+    fleet = Fleet.random(n_devices, seed=seed)
+    platform = TinyMLOpsPlatform(fleet, PlatformConfig(bit_widths=(8,), sparsities=(0.5,), seed=seed))
+    model = make_mlp(12, 4, hidden=(32, 16), seed=0, name="wakeword")
+    model.fit(train.x, train.y, epochs=4, lr=0.01, seed=0)
+    platform.release(model, test.x, test.y)
+    platform.deploy(
+        "wakeword",
+        reference_x=train.x[:200],
+        reference_predictions=model.predict_classes(train.x[:200]),
+        num_classes=4,
+        prepaid_queries=5000,
+    )
+    clients = partition_dirichlet(train, 6, alpha=0.7, seed=seed)
+    return platform, test, clients
+
+
+def test_e3_lifecycle_guardrail(benchmark, smoke_mode):
+    """Fleet-scale closed loop: deterministic promotion + bad-candidate rollback.
+
+    Two *fresh* worlds run the same seeded drift→retrain→canary→promote cycle
+    followed by an injected oversized candidate.  The guardrail: both worlds
+    promote the same version id with identical gate metrics, and both reject
+    the oversized candidate without touching the incumbent's deployments.
+    """
+    from repro.lifecycle import LifecycleConfig, oversized_candidate
+
+    n_devices = 16 if smoke_mode else 60
+
+    def closed_loop_pair():
+        results = []
+        for _ in range(2):
+            platform, test, clients = _lifecycle_world(n_devices)
+            pipeline = platform.lifecycle(
+                "wakeword",
+                clients,
+                (test.x, test.y),
+                config=LifecycleConfig(rounds=1, canary_windows=1, seed=21),
+            )
+            promoted = pipeline.run_cycle(trigger={"kind": "schedule"})
+            rejected = pipeline.run_cycle(
+                candidate_model=oversized_candidate(platform.deployed_models["wakeword"], seed=1)
+            )
+            results.append((promoted, rejected, platform))
+        return results
+
+    (d1, bad1, p1), (d2, bad2, p2) = benchmark.pedantic(closed_loop_pair, rounds=1, iterations=1)
+    assert d1.promoted and d2.promoted
+    assert d1.candidate_version == d2.candidate_version
+    assert d1.candidate_metrics == d2.candidate_metrics
+    assert d1.canary_devices == d2.canary_devices
+    assert not bad1.promoted and not bad2.promoted
+    assert bad1.reasons == bad2.reasons
+    # The rejected candidate never became a deployment target.
+    assert p1.registry.production("wakeword").version_id == d1.candidate_version
+    hist = p1.registry.deployment_histogram("wakeword")
+    assert set(hist) == {d1.candidate_version}
+    benchmark.extra_info.update(
+        {
+            "n_devices": n_devices,
+            "promoted_version": d1.candidate_version,
+            "n_canary_devices": len(d1.canary_devices),
+            "candidate_accuracy": d1.candidate_metrics["accuracy"],
+            "rejected_gate": bad1.reasons[0].split(":")[0],
+            "deterministic": True,
+        }
+    )
+
+
+def test_e3_lifecycle_canary_engines_agree():
+    """The batched and oracle canary engines produce identical gate metrics."""
+    from repro.lifecycle import LifecycleConfig, degraded_candidate
+
+    outcomes = []
+    for engine in ("batched", "oracle"):
+        platform, test, clients = _lifecycle_world(10, seed=9)
+        pipeline = platform.lifecycle(
+            "wakeword",
+            clients,
+            (test.x, test.y),
+            config=LifecycleConfig(rounds=1, canary_windows=1, seed=9, canary_engine=engine),
+        )
+        decision = pipeline.run_cycle(
+            candidate_model=degraded_candidate(platform.deployed_models["wakeword"], seed=1)
+        )
+        outcomes.append((decision.promoted, decision.candidate_metrics, decision.incumbent_metrics))
+    assert outcomes[0] == outcomes[1]

@@ -1,0 +1,93 @@
+"""Closed-loop model lifecycle: drift -> retrain -> canary -> promote/rollback.
+
+The paper's Section III-A loop end to end: production traffic drifts, the
+monitors fire, the lifecycle pipeline retrains a candidate with federated
+rounds on a *clone* of the incumbent, canaries it on a cloned fleet slice,
+and the gate decides — promote (deployments flip, variants re-derive, stage
+``production``) or roll back (candidate staged ``rejected``, incumbent
+untouched).  A deliberately oversized candidate shows the rollback path.
+
+Run with:  python examples/lifecycle_loop.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import PlatformConfig, TinyMLOpsPlatform
+from repro.data import make_gaussian_blobs, partition_dirichlet
+from repro.devices import Fleet
+from repro.lifecycle import LifecycleConfig, oversized_candidate
+from repro.nn import make_mlp
+
+
+def main() -> None:
+    # 1. A released + deployed world: model, variants, monitors, quotas.
+    dataset = make_gaussian_blobs(n_samples=1500, n_features=12, n_classes=4, seed=3)
+    train, test = dataset.split(test_fraction=0.3, seed=3)
+    fleet = Fleet.random(20, seed=3)
+    platform = TinyMLOpsPlatform(fleet, PlatformConfig(bit_widths=(8,), sparsities=(0.5,), seed=3))
+    model = make_mlp(12, 4, hidden=(48, 24), seed=0, name="sensor-classifier")
+    model.fit(train.x, train.y, epochs=6, lr=0.01, seed=0)
+    platform.release(model, test.x, test.y)
+    platform.deploy(
+        "sensor-classifier",
+        reference_x=train.x[:300],
+        reference_predictions=model.predict_classes(train.x[:300]),
+        num_classes=4,
+        prepaid_queries=2000,
+    )
+    incumbent = platform.registry.latest("sensor-classifier", kind="base")
+    print(f"deployed incumbent {incumbent.version_id} to {len(fleet)} devices")
+
+    # 2. The lifecycle loop, bound to the platform: federated shards for
+    # retraining, held-out data for the accuracy gate and canary traffic.
+    clients = partition_dirichlet(train, 8, alpha=0.7, seed=3)
+    pipeline = platform.lifecycle(
+        "sensor-classifier",
+        clients,
+        (test.x, test.y),
+        config=LifecycleConfig(rounds=2, canary_fraction=0.25, canary_windows=2, seed=3),
+    )
+
+    # 3. Production traffic drifts (sensors decalibrate: shifted inputs).
+    rng = np.random.default_rng(7)
+    drifted = test.x + 5.0
+    for device in list(fleet)[:6]:
+        platform.serve(device.device_id, "sensor-classifier", drifted[rng.integers(0, len(drifted), size=50)])
+    print(f"served drifted traffic; monitors with drift: "
+          f"{sum(1 for m in platform.monitors.values() if m.any_drift())}")
+
+    # 4. One poll of the loop: the drift events trigger a full cycle.
+    decision = pipeline.step()
+    assert decision is not None
+    print(f"\ntrigger: {decision.trigger['kind']} ({decision.trigger.get('n_events', 0)} events)")
+    print(f"candidate {decision.candidate_version}: promoted={decision.promoted}")
+    print(f"  canary slice: {decision.canary_devices}")
+    print(f"  candidate acc={decision.candidate_metrics['accuracy']:.3f} "
+          f"vs incumbent acc={decision.incumbent_metrics['accuracy']:.3f}")
+    print(f"  re-derived variants: {decision.derived_versions}; "
+          f"stale after: {decision.stale_variants_after}")
+    production = platform.registry.production("sensor-classifier")
+    print(f"  production stage now: {production.version_id if production else None}")
+
+    # 5. Inject a hopeless candidate: the gate must roll it back.
+    bad = pipeline.run_cycle(
+        candidate_model=oversized_candidate(platform.deployed_models["sensor-classifier"], seed=1)
+    )
+    print(f"\noversized candidate {bad.candidate_version}: promoted={bad.promoted}")
+    for reason in bad.reasons:
+        print(f"  gate: {reason}")
+    print(f"  stage: {platform.registry.get(bad.candidate_version).tags['stage']}")
+    histogram = platform.registry.deployment_histogram("sensor-classifier")
+    print(f"  fleet still runs: {histogram}")
+
+    # 6. The audit trail: every decision is a content-addressed record.
+    for d in pipeline.history:
+        record = platform.registry.store.get_object(d.record_digest)
+        print(f"\ncycle {d.cycle} record {d.record_digest[:12]}: promoted={record['promoted']}, "
+              f"reasons={record['reasons'] or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

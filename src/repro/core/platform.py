@@ -158,6 +158,9 @@ class TinyMLOpsPlatform:
         if model_name not in self.variants:
             raise KeyError(f"model {model_name!r} has not been released")
         variants = self.variants[model_name]
+        # Deploy the production-staged version when the lifecycle has promoted
+        # one; otherwise (no lifecycle in play) the newest base.
+        version = self.registry.production(model_name) or self.registry.latest(model_name, kind="base")
         targets = [self.fleet.get(d) for d in device_ids] if device_ids else list(self.fleet)
         per_variant: Dict[str, int] = {}
         failures: List[str] = []
@@ -181,8 +184,6 @@ class TinyMLOpsPlatform:
                 failures.append(device.device_id)
                 continue
             per_variant[chosen.name] = per_variant.get(chosen.name, 0) + 1
-            # Registry deployment record.
-            version = self.registry.latest(model_name, kind="base")
             self.registry.record_deployment(device.device_id, version.version_id)
             # Observability: per-device monitor seeded with reference data.
             if reference_x is not None:
@@ -284,6 +285,43 @@ class TinyMLOpsPlatform:
     # ------------------------------------------------------------------
     # federated retraining (Sec. III-D)
     # ------------------------------------------------------------------
+    def build_federated_engine(
+        self,
+        model: Sequential,
+        client_data: Sequence,
+        local_epochs: int = 1,
+        lr: float = 0.05,
+        eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        scenario: Optional[RoundScenario] = None,
+        train_in_place: bool = True,
+    ) -> FederatedEngine:
+        """A federated engine configured with the platform's policies.
+
+        Shared by :meth:`federated_update` (which trains the deployed model
+        in place) and the lifecycle loop, which passes
+        ``train_in_place=False`` to train a weight-copy *clone*
+        (:meth:`FederatedEngine.for_candidate`) so a candidate that fails
+        its canary gate never touched the serving incumbent.
+        """
+        clients = [
+            FederatedClient(cd, local_epochs=local_epochs, lr=lr, seed=self.config.seed + i)
+            for i, cd in enumerate(client_data)
+        ]
+        on_fleet = any(c.client_id in self.fleet.devices for c in clients)
+        scheduler = EligibilityScheduler(max_clients=max(2, int(self.config.federated_fraction * len(clients))))
+        kwargs = dict(
+            compressor=get_compressor(self.config.federated_compressor, fraction=0.1)
+            if self.config.federated_compressor == "topk"
+            else get_compressor(self.config.federated_compressor),
+            scheduler=scheduler if on_fleet else None,
+            eval_data=eval_data,
+            fleet=self.fleet if on_fleet else None,
+            scenario=scenario,
+        )
+        if train_in_place:
+            return FederatedEngine(model, clients, **kwargs)
+        return FederatedEngine.for_candidate(model, clients, **kwargs)
+
     def federated_update(
         self,
         model_name: str,
@@ -304,21 +342,12 @@ class TinyMLOpsPlatform:
         updates.
         """
         model = self.deployed_models[model_name]
-        clients = [
-            FederatedClient(cd, local_epochs=local_epochs, lr=lr, seed=self.config.seed + i)
-            for i, cd in enumerate(client_data)
-        ]
-        on_fleet = any(c.client_id in self.fleet.devices for c in clients)
-        scheduler = EligibilityScheduler(max_clients=max(2, int(self.config.federated_fraction * len(clients))))
-        engine = FederatedEngine(
+        engine = self.build_federated_engine(
             model,
-            clients,
-            compressor=get_compressor(self.config.federated_compressor, fraction=0.1)
-            if self.config.federated_compressor == "topk"
-            else get_compressor(self.config.federated_compressor),
-            scheduler=scheduler if on_fleet else None,
+            client_data,
+            local_epochs=local_epochs,
+            lr=lr,
             eval_data=eval_data,
-            fleet=self.fleet if on_fleet else None,
             scenario=scenario,
         )
         history = engine.run(rounds)
@@ -334,6 +363,103 @@ class TinyMLOpsPlatform:
             "communication": engine.total_communication(),
             "new_version": new_version.version_id,
         }
+
+    # ------------------------------------------------------------------
+    # lifecycle: promotion + the closed loop (Sec. III-A/III-B/III-D)
+    # ------------------------------------------------------------------
+    def promote_model(
+        self,
+        model_name: str,
+        model: Sequential,
+        version_id: str,
+        x_eval: Optional[np.ndarray] = None,
+        y_eval: Optional[np.ndarray] = None,
+    ) -> Dict[str, object]:
+        """Adopt a gate-approved candidate as the serving model for a family.
+
+        Called by :class:`repro.lifecycle.LifecyclePipeline` after a canary
+        passes its gates.  In one step: the serving model is swapped and its
+        compiled plan rebuilt, the evaluated variant set is regenerated from
+        the new weights, every deployed device re-selects its variant
+        against the fresh set, the registry deployment map flips to the new
+        version (:meth:`ModelRegistry.flip_deployments` returns the audit
+        trail), and the version is staged ``production`` (retiring its
+        predecessor).
+        """
+        self.deployed_models[model_name] = model
+        if model_name in self.serving.plans:
+            self.serving.compile_model(model_name)
+        per_variant: Dict[str, int] = {}
+        if x_eval is not None and y_eval is not None:
+            profiles = sorted({d.profile for d in self.fleet}, key=lambda p: p.name)
+            generator = VariantGenerator(self.cost_model)
+            self.variants[model_name] = generator.generate(
+                model,
+                x_eval,
+                y_eval,
+                profiles,
+                bit_widths=self.config.bit_widths,
+                sparsities=self.config.sparsities,
+            )
+        deployed_ids = sorted(
+            device_id
+            for device_id in self.registry.deployments
+            if device_id in self.fleet.devices
+            and self.registry.deployed_version(device_id, model_name) is not None
+        )
+        for device_id in deployed_ids:
+            device = self.fleet.get(device_id)
+            result = self.selector.select(
+                self.variants.get(model_name, []),
+                device.profile,
+                network=device.network,
+                context=device.context(),
+            )
+            if result.chosen is not None:
+                per_variant[result.chosen.name] = per_variant.get(result.chosen.name, 0) + 1
+        previous = self.registry.flip_deployments(deployed_ids, version_id)
+        self.registry.promote(version_id)
+        self._log(
+            "promoted",
+            model=model_name,
+            version=version_id,
+            n_devices=len(deployed_ids),
+            per_variant=per_variant,
+        )
+        return {
+            "version": version_id,
+            "flipped_devices": deployed_ids,
+            "previous_versions": previous,
+            "per_variant": per_variant,
+        }
+
+    def lifecycle(
+        self,
+        model_name: str,
+        client_data: Sequence,
+        eval_data: Tuple[np.ndarray, np.ndarray],
+        config=None,
+        gates=None,
+        metric_probes=None,
+    ):
+        """A :class:`repro.lifecycle.LifecyclePipeline` bound to this platform.
+
+        The closed loop of Section III-A: drift events (or a schedule)
+        trigger federated retraining, the candidate canaries on a cloned
+        fleet slice, and the gate promotes or rolls back.  Imported lazily
+        to keep :mod:`repro.core` free of a hard lifecycle dependency.
+        """
+        from repro.lifecycle import LifecyclePipeline
+
+        return LifecyclePipeline(
+            self,
+            model_name,
+            client_data,
+            eval_data,
+            config=config,
+            gates=gates,
+            metric_probes=metric_probes,
+        )
 
     # ------------------------------------------------------------------
     # protection / verification (Sec. V, VI)

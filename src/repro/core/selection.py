@@ -121,11 +121,14 @@ class ModelSelector:
         # Normalizers so weights are comparable across metrics.
         max_size = max((v.size_bytes for v in variants), default=1) or 1
         for variant in variants:
+            # One cost-model walk per variant covers both the latency
+            # fallback and the energy term (it used to run twice, with the
+            # first result discarded whenever the latency table had a hit).
+            cost = self.cost_model.model_inference_cost(profile, variant.model, bits=variant.bits)
             latency = variant.latency_s.get(profile.name)
             if latency is None:
-                cost = self.cost_model.model_inference_cost(profile, variant.model, bits=variant.bits)
                 latency = cost.latency_s
-            energy = self.cost_model.model_inference_cost(profile, variant.model, bits=variant.bits).energy_j
+            energy = cost.energy_j
             download_s = network.transfer_time(variant.size_bytes) if network is not None else 0.0
             # Offline devices will fetch the artifact at the next connectivity
             # window; penalize with a large finite value instead of ruling the

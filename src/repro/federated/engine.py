@@ -817,6 +817,23 @@ class FederatedEngine:
         # used by run_round(engine="sharded"); None builds a default per call.
         self.shard_runner = None
 
+    @classmethod
+    def for_candidate(
+        cls, incumbent: Sequential, clients: Sequence[FederatedClient], **kwargs
+    ) -> "FederatedEngine":
+        """An engine for a *triggered* retraining round (model lifecycle).
+
+        The engine's rounds mutate ``global_model`` in place, which is the
+        right behaviour for an in-production federated update but wrong for
+        a lifecycle-triggered retrain: the candidate must not touch the
+        serving incumbent until a canary gate promotes it.  This constructor
+        trains a weight-copy clone instead — the incumbent is never written,
+        and the trained candidate is available as ``engine.global_model``
+        (:class:`repro.lifecycle.LifecyclePipeline` registers it as a new
+        base version and canaries it).
+        """
+        return cls(incumbent.clone(copy_weights=True), clients, **kwargs)
+
     # -- fleet integration ----------------------------------------------
     def _device_for(self, client_id: str):
         if self.fleet is None:

@@ -1,0 +1,25 @@
+"""Closed-loop model lifecycle automation (drift → retrain → canary → promote)."""
+
+from repro.lifecycle.pipeline import (
+    CanaryReport,
+    GateCheck,
+    LifecycleConfig,
+    LifecycleDecision,
+    LifecyclePipeline,
+    bad_architecture_candidate,
+    default_gates,
+    degraded_candidate,
+    oversized_candidate,
+)
+
+__all__ = [
+    "CanaryReport",
+    "GateCheck",
+    "LifecycleConfig",
+    "LifecycleDecision",
+    "LifecyclePipeline",
+    "bad_architecture_candidate",
+    "default_gates",
+    "degraded_candidate",
+    "oversized_candidate",
+]

@@ -153,6 +153,17 @@ class EdgeMonitor:
         """Whether any detector has fired so far."""
         return bool(self.drift_events)
 
+    def drift_events_since(self, cursor: int = 0) -> Tuple[List[Dict[str, object]], int]:
+        """Drift events appended at or after ``cursor``, plus the new cursor.
+
+        The consumption primitive for closed-loop automation
+        (:mod:`repro.lifecycle`): a consumer keeps the returned cursor and
+        polls again later, seeing each event exactly once without the
+        monitor having to track its consumers.
+        """
+        cursor = max(0, int(cursor))
+        return list(self.drift_events[cursor:]), len(self.drift_events)
+
     def build_report(self) -> TelemetryReport:
         """Telemetry payload for the next sync opportunity."""
         return self.telemetry.build_report()
@@ -399,6 +410,15 @@ class AlertEngine:
                 raised.append(alert)
         self.alerts.extend(raised)
         return raised
+
+    def alerts_since(self, cursor: int = 0) -> Tuple[List[Alert], int]:
+        """Alerts raised at or after ``cursor``, plus the new cursor.
+
+        Cursor-based consumption (see :meth:`EdgeMonitor.drift_events_since`)
+        so lifecycle automation can react to each alert exactly once.
+        """
+        cursor = max(0, int(cursor))
+        return list(self.alerts[cursor:]), len(self.alerts)
 
     @classmethod
     def default_rules(cls, latency_budget_s: float = 0.1, drift_rate_threshold: float = 0.2) -> "AlertEngine":

@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["StoredArtifact", "ArtifactStore"]
@@ -20,17 +20,29 @@ __all__ = ["StoredArtifact", "ArtifactStore"]
 
 @dataclass(frozen=True)
 class StoredArtifact:
-    """Metadata record of one stored blob."""
+    """Metadata record of one stored blob.
+
+    ``aliases`` lists every *additional* logical name the same bytes were
+    registered under (content-addressing dedupes the blob, but the identity
+    collision is surfaced rather than silently collapsed into the first
+    name).  Metadata keys re-put with conflicting values accumulate a tuple
+    of the distinct values in put order.
+    """
 
     digest: str
     size_bytes: int
     kind: str
     name: str
     metadata: Tuple[Tuple[str, object], ...] = ()
+    aliases: Tuple[str, ...] = ()
 
     def meta(self) -> Dict[str, object]:
         """Metadata as a plain dict."""
         return dict(self.metadata)
+
+    def names(self) -> Tuple[str, ...]:
+        """Every logical name this blob is known under (primary first)."""
+        return (self.name,) + self.aliases
 
 
 class ArtifactStore:
@@ -53,11 +65,21 @@ class ArtifactStore:
 
     # -- write -----------------------------------------------------------
     def put(self, blob: bytes, kind: str = "blob", name: str = "", metadata: Optional[Dict[str, object]] = None) -> StoredArtifact:
-        """Store a blob; returns its record.  Re-putting identical content is a no-op."""
+        """Store a blob; returns its record.
+
+        Re-putting identical content never stores a second copy, but the
+        *identity* of the re-put is not discarded: a different ``name``
+        lands in the record's ``aliases``, new ``metadata`` keys merge in
+        and conflicting metadata values accumulate as a tuple of the
+        distinct values.  A conflicting ``kind`` raises — the same bytes
+        cannot be both, say, a ``"model"`` and a ``"calibration-batch"``
+        without someone being wrong.
+        """
         if not isinstance(blob, (bytes, bytearray)):
             raise TypeError("blob must be bytes")
         digest = hashlib.sha256(blob).hexdigest()
-        if digest not in self._blobs:
+        existing = self._records.get(digest)
+        if existing is None:
             self._blobs[digest] = bytes(blob)
             self._records[digest] = StoredArtifact(
                 digest=digest,
@@ -71,7 +93,27 @@ class ArtifactStore:
                 os.makedirs(os.path.dirname(path), exist_ok=True)
                 with open(path, "wb") as fh:
                     fh.write(blob)
-        return self._records[digest]
+            return self._records[digest]
+        if kind != existing.kind:
+            raise ValueError(
+                f"artifact {digest[:12]} is already stored with kind {existing.kind!r}; "
+                f"re-putting it as kind {kind!r} conflicts"
+            )
+        name = name or digest[:12]
+        aliases = existing.aliases
+        if name != existing.name and name not in aliases:
+            aliases = aliases + (name,)
+        merged = dict(existing.metadata)
+        for key, value in (metadata or {}).items():
+            if key not in merged:
+                merged[key] = value
+            elif merged[key] != value:
+                prior = merged[key] if isinstance(merged[key], tuple) else (merged[key],)
+                if value not in prior:
+                    merged[key] = prior + (value,)
+        record = replace(existing, aliases=aliases, metadata=tuple(sorted(merged.items())))
+        self._records[digest] = record
+        return record
 
     def put_object(self, obj: object, kind: str = "object", name: str = "", metadata: Optional[Dict[str, object]] = None) -> StoredArtifact:
         """Pickle and store an arbitrary Python object."""

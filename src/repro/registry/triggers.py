@@ -95,6 +95,11 @@ class TriggerManager:
         pipelines = self._subscriptions.get(base_version.model_name, [])
         derived: List[ModelVersion] = []
         if not pipelines:
+            # Still log the (base, 0-derived) event: lifecycle audits must
+            # see every trigger, including the ones nothing subscribed to.
+            self.trigger_log.append(
+                {"base": base_version.version_id, "n_derived": 0, "pipelines": []}
+            )
             return derived
         base_model = self.registry.load_model(base_version.version_id)
         for pipeline in pipelines:

@@ -210,15 +210,77 @@ class ModelRegistry:
                 hist[vid] = hist.get(vid, 0) + 1
         return hist
 
+    def flip_deployments(self, device_ids: Sequence[str], version_id: str) -> Dict[str, Optional[str]]:
+        """Atomically point every device at ``version_id``; returns the previous map.
+
+        The lifecycle promotion/rollback primitive: the returned
+        ``{device_id: previous_version_id_or_None}`` mapping is the audit
+        trail (and the exact input needed to flip back).
+        """
+        version = self.get(version_id)
+        previous: Dict[str, Optional[str]] = {}
+        for device_id in device_ids:
+            previous[device_id] = self.deployments.get(device_id, {}).get(version.model_name)
+            self.deployments.setdefault(device_id, {})[version.model_name] = version_id
+        return previous
+
+    # ------------------------------------------------------------------
+    # stages (lifecycle: candidate -> production / rejected)
+    # ------------------------------------------------------------------
+    def tag_version(self, version_id: str, **tags: object) -> ModelVersion:
+        """Merge tags into an existing version (lifecycle gate metrics, stages)."""
+        version = self.get(version_id)
+        version.tags.update(tags)
+        return version
+
+    def set_stage(self, version_id: str, stage: str) -> ModelVersion:
+        """Set the lifecycle stage tag (``candidate``/``production``/``rejected``/...)."""
+        return self.tag_version(version_id, stage=stage)
+
+    def production(self, model_name: str) -> Optional[ModelVersion]:
+        """The newest version of a model staged ``production`` (None if unstaged)."""
+        staged = [
+            v
+            for v in self.versions.values()
+            if v.model_name == model_name and v.tags.get("stage") == "production"
+        ]
+        return max(staged, key=lambda v: v.created_at) if staged else None
+
+    def promote(self, version_id: str) -> ModelVersion:
+        """Stage a version ``production``, retiring the previous production one."""
+        version = self.get(version_id)
+        current = self.production(version.model_name)
+        if current is not None and current.version_id != version_id:
+            self.set_stage(current.version_id, "retired")
+        return self.set_stage(version_id, "production")
+
     # ------------------------------------------------------------------
     # staleness / retriggering (Section III-A optimization pipeline)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _variant_key(version: ModelVersion) -> Tuple[str, object, object]:
+        """Logical identity of a derived variant across base retrains.
+
+        Pipeline-produced variants carry ``recipe``/``pipeline`` tags
+        (:class:`~repro.registry.triggers.TriggerManager` stamps them), so a
+        re-derived int8 variant of the new base matches the int8 variant of
+        the old base even though their version ids differ.
+        """
+        return (version.kind, version.tags.get("recipe"), version.tags.get("pipeline"))
+
     def stale_variants(self, model_name: str) -> List[ModelVersion]:
         """Derived variants whose base is no longer the latest base version.
 
         When a base model is retrained and re-registered, every variant
         derived from an *older* base is stale and the optimization pipeline
         that produced it must be re-run (paper Section III-A).
+
+        A variant stops being stale once an *equivalent* variant — same
+        ``kind`` and same ``recipe``/``pipeline`` tags — has been re-derived
+        from the latest base.  Matching by version id here would be a no-op
+        (re-derived variants always mint fresh ids), which is exactly the
+        bug this filter used to have: re-running a pipeline never cleared
+        staleness.
         """
         bases = self.versions_of(model_name, kind="base")
         if len(bases) < 2:
@@ -226,11 +288,19 @@ class ModelRegistry:
         latest_base = bases[-1].version_id
         older_bases = {b.version_id for b in bases[:-1]}
         stale: List[ModelVersion] = []
+        seen: Set[str] = set()
         for base_id in older_bases:
-            stale.extend(v for v in self.derived_from(base_id) if not v.is_base())
-        # Variants already re-derived from the latest base are not stale.
-        fresh = {v.version_id for v in self.derived_from(latest_base)}
-        return sorted((v for v in stale if v.version_id not in fresh), key=lambda v: v.created_at)
+            for v in self.derived_from(base_id):
+                if not v.is_base() and v.version_id not in seen:
+                    seen.add(v.version_id)
+                    stale.append(v)
+        fresh_keys = {
+            self._variant_key(v) for v in self.derived_from(latest_base) if not v.is_base()
+        }
+        return sorted(
+            (v for v in stale if self._variant_key(v) not in fresh_keys),
+            key=lambda v: v.created_at,
+        )
 
     def stats(self) -> Dict[str, object]:
         """Registry-wide statistics for dashboards and the E3 benchmark."""

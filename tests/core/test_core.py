@@ -78,6 +78,32 @@ class TestModelSelection:
         for variant in variants:
             assert variant.name in text
 
+    def test_cost_model_walked_once_per_variant(self, variants):
+        # Regression: select() used to walk the cost model twice per variant,
+        # discarding the first result whenever the latency table had a hit.
+        from repro.devices import CostModel
+
+        cost_model = CostModel()
+        calls = []
+        original = cost_model.model_inference_cost
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        cost_model.model_inference_cost = counting
+        selector = ModelSelector(cost_model)
+        result = selector.select(variants, get_profile("phone-mid"), network=NetworkCondition.of(NetworkType.WIFI))
+        assert result.chosen is not None
+        assert len(calls) == len(variants)
+
+    def test_double_cost_selection_unchanged(self, variants):
+        # The single-walk rewrite must not change what gets selected.
+        fresh = ModelSelector().select(variants, get_profile("phone-mid"))
+        again = ModelSelector().select(variants, get_profile("phone-mid"))
+        assert fresh.chosen.name == again.chosen.name
+        assert fresh.scores == again.scores
+
 
 class TestPlatformEndToEnd:
     @pytest.fixture(scope="class")

@@ -53,6 +53,38 @@ class TestArtifactStore:
         with pytest.raises(TypeError):
             ArtifactStore().put("not-bytes")  # type: ignore[arg-type]
 
+    def test_collision_preserves_second_name_as_alias(self):
+        # Regression: identical bytes under a different name used to return
+        # the first record unchanged, silently dropping the second identity.
+        store = ArtifactStore()
+        store.put(b"same-bytes", kind="blob", name="first")
+        record = store.put(b"same-bytes", kind="blob", name="second")
+        assert record.name == "first"
+        assert record.names() == ("first", "second")
+        assert store.record(record.digest).aliases == ("second",)
+        assert len(store) == 1
+
+    def test_collision_with_conflicting_kind_raises(self):
+        store = ArtifactStore()
+        store.put(b"payload", kind="model")
+        with pytest.raises(ValueError, match="kind"):
+            store.put(b"payload", kind="calibration-batch")
+
+    def test_collision_merges_metadata(self):
+        store = ArtifactStore()
+        store.put(b"payload", kind="blob", metadata={"bits": 8, "origin": "ci"})
+        record = store.put(b"payload", kind="blob", metadata={"bits": 4, "owner": "acme"})
+        meta = record.meta()
+        assert meta["origin"] == "ci"  # untouched key survives
+        assert meta["owner"] == "acme"  # new key merges in
+        assert meta["bits"] == (8, 4)  # conflict accumulates distinct values in put order
+
+    def test_collision_identical_metadata_is_stable(self):
+        store = ArtifactStore()
+        first = store.put(b"payload", kind="blob", name="n", metadata={"bits": 8})
+        second = store.put(b"payload", kind="blob", name="n", metadata={"bits": 8})
+        assert first == second
+
 
 class TestModelRegistry:
     def test_register_and_load_model(self, trained_mlp, blobs):
@@ -118,6 +150,75 @@ class TestModelRegistry:
         stats = registry.stats()
         assert stats["n_versions"] == 1 and stats["n_models"] == 1
 
+    def test_stale_cleared_by_rederived_equivalent(self, trained_mlp):
+        # Regression: staleness used to be filtered by version id, which a
+        # re-derived variant never shares — so re-running the pipeline could
+        # never clear it.  Equivalence is (kind, recipe, pipeline) identity.
+        registry = ModelRegistry()
+        base1 = registry.register_model(trained_mlp)
+        registry.register_model(
+            trained_mlp, kind="quantized", parents=(base1.version_id,),
+            tags={"recipe": "quant-8bit", "pipeline": "standard"},
+        )
+        base2 = registry.register_model(trained_mlp)
+        assert len(registry.stale_variants(trained_mlp.name)) == 1
+        registry.register_model(
+            trained_mlp, kind="quantized", parents=(base2.version_id,),
+            tags={"recipe": "quant-8bit", "pipeline": "standard"},
+        )
+        assert registry.stale_variants(trained_mlp.name) == []
+
+    def test_stale_requires_matching_recipe(self, trained_mlp):
+        # A *different* recipe derived from the new base does not clear the
+        # old one's staleness.
+        registry = ModelRegistry()
+        base1 = registry.register_model(trained_mlp)
+        old = registry.register_model(
+            trained_mlp, kind="quantized", parents=(base1.version_id,),
+            tags={"recipe": "quant-8bit", "pipeline": "standard"},
+        )
+        base2 = registry.register_model(trained_mlp)
+        registry.register_model(
+            trained_mlp, kind="quantized", parents=(base2.version_id,),
+            tags={"recipe": "quant-4bit", "pipeline": "standard"},
+        )
+        stale = registry.stale_variants(trained_mlp.name)
+        assert [v.version_id for v in stale] == [old.version_id]
+
+    def test_stale_dedup_across_multiple_old_bases(self, trained_mlp):
+        # A variant chain reachable from several old bases is reported once.
+        registry = ModelRegistry()
+        base1 = registry.register_model(trained_mlp)
+        derived = registry.register_model(
+            trained_mlp, kind="quantized", parents=(base1.version_id,),
+            tags={"recipe": "quant-8bit"},
+        )
+        registry.register_model(trained_mlp, parents=(base1.version_id,))  # base2, child of base1
+        registry.register_model(trained_mlp)  # base3 (latest)
+        stale = registry.stale_variants(trained_mlp.name)
+        assert [v.version_id for v in stale] == [derived.version_id]
+
+    def test_flip_deployments_returns_previous_map(self, trained_mlp):
+        registry = ModelRegistry()
+        v1 = registry.register_model(trained_mlp)
+        v2 = registry.register_model(trained_mlp)
+        registry.record_deployment("dev-1", v1.version_id)
+        previous = registry.flip_deployments(["dev-1", "dev-2"], v2.version_id)
+        assert previous == {"dev-1": v1.version_id, "dev-2": None}
+        assert registry.deployed_version("dev-1", trained_mlp.name) == v2.version_id
+        assert registry.deployed_version("dev-2", trained_mlp.name) == v2.version_id
+
+    def test_promote_retires_previous_production(self, trained_mlp):
+        registry = ModelRegistry()
+        v1 = registry.register_model(trained_mlp)
+        v2 = registry.register_model(trained_mlp)
+        assert registry.production(trained_mlp.name) is None
+        registry.promote(v1.version_id)
+        assert registry.production(trained_mlp.name).version_id == v1.version_id
+        registry.promote(v2.version_id)
+        assert registry.production(trained_mlp.name).version_id == v2.version_id
+        assert registry.get(v1.version_id).tags["stage"] == "retired"
+
 
 class TestTriggers:
     def test_standard_pipeline_generates_variants(self, trained_mlp):
@@ -154,9 +255,25 @@ class TestTriggers:
         manager.register_and_trigger(trained_mlp)
         retrained = trained_mlp.clone(copy_weights=True)
         retrained.layers[0].params["W"] += 0.01
-        manager.register_and_trigger(retrained)
+        # Registering the retrained base alone leaves the old variant stale...
+        base2 = registry.register_model(retrained)
         assert len(registry.stale_variants(trained_mlp.name)) == 1
+        # ...and re-running the pipeline from the new base clears it.
+        derived = manager.on_base_registered(base2)
+        assert len(derived) == 1
+        assert registry.stale_variants(trained_mlp.name) == []
         assert len(manager.trigger_log) == 2
+
+    def test_trigger_log_records_no_pipeline_events(self, trained_mlp):
+        # Regression: the no-subscription early return used to skip the
+        # trigger log, so lifecycle audits missed those triggers entirely.
+        registry = ModelRegistry()
+        manager = TriggerManager(registry)
+        base = registry.register_model(trained_mlp)
+        assert manager.on_base_registered(base) == []
+        assert manager.trigger_log == [
+            {"base": base.version_id, "n_derived": 0, "pipelines": []}
+        ]
 
     def test_on_base_registered_requires_base(self, trained_mlp):
         registry = ModelRegistry()
