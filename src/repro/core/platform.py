@@ -294,6 +294,10 @@ class TinyMLOpsPlatform:
         eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         scenario: Optional[RoundScenario] = None,
         train_in_place: bool = True,
+        fault_injector=None,
+        quorum: Optional[float] = None,
+        retry_policy=None,
+        checkpoints=None,
     ) -> FederatedEngine:
         """A federated engine configured with the platform's policies.
 
@@ -302,6 +306,13 @@ class TinyMLOpsPlatform:
         ``train_in_place=False`` to train a weight-copy *clone*
         (:meth:`FederatedEngine.for_candidate`) so a candidate that fails
         its canary gate never touched the serving incumbent.
+
+        ``fault_injector`` / ``quorum`` / ``retry_policy`` /
+        ``checkpoints`` pass straight through to
+        :class:`~repro.federated.engine.FederatedEngine` — the
+        :mod:`repro.faults` plane — so platform-driven retraining (and the
+        lifecycle loop) can run under a seeded fault plan with
+        transactional round commits.
         """
         clients = [
             FederatedClient(cd, local_epochs=local_epochs, lr=lr, seed=self.config.seed + i)
@@ -317,6 +328,10 @@ class TinyMLOpsPlatform:
             eval_data=eval_data,
             fleet=self.fleet if on_fleet else None,
             scenario=scenario,
+            fault_injector=fault_injector,
+            quorum=quorum,
+            retry_policy=retry_policy,
+            checkpoints=checkpoints,
         )
         if train_in_place:
             return FederatedEngine(model, clients, **kwargs)
@@ -441,6 +456,9 @@ class TinyMLOpsPlatform:
         config=None,
         gates=None,
         metric_probes=None,
+        fault_injector=None,
+        quorum: Optional[float] = None,
+        retry_policy=None,
     ):
         """A :class:`repro.lifecycle.LifecyclePipeline` bound to this platform.
 
@@ -448,6 +466,8 @@ class TinyMLOpsPlatform:
         trigger federated retraining, the candidate canaries on a cloned
         fleet slice, and the gate promotes or rolls back.  Imported lazily
         to keep :mod:`repro.core` free of a hard lifecycle dependency.
+        ``fault_injector`` / ``quorum`` / ``retry_policy`` flow into the
+        retraining engine (:mod:`repro.faults`).
         """
         from repro.lifecycle import LifecyclePipeline
 
@@ -459,6 +479,9 @@ class TinyMLOpsPlatform:
             config=config,
             gates=gates,
             metric_probes=metric_probes,
+            fault_injector=fault_injector,
+            quorum=quorum,
+            retry_policy=retry_policy,
         )
 
     # ------------------------------------------------------------------

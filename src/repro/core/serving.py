@@ -93,7 +93,11 @@ class FleetServeReport:
     in-process after a worker fault (:mod:`repro.runtime.sharded`); it stays
     0 on fault-free runs and on the single-process engines, so report
     equality across engines is unaffected while a recovered run is
-    explicitly flagged.
+    explicitly flagged.  ``network_failures`` counts queries that never
+    reached their device because a fault plan partitioned it for the window
+    (:mod:`repro.faults`): they are requested-but-unserved and *never
+    billed* — the ledger meters admissions, and a partitioned device admits
+    nothing.
     """
 
     model_name: str
@@ -104,21 +108,32 @@ class FleetServeReport:
     battery_failures: int = 0
     devices_with_drift: int = 0
     shard_recoveries: int = 0
+    network_failures: int = 0
     per_device: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    _DEVICE_KEYS = ("requested", "served", "denied_quota", "battery_failures", "network_failures")
+
+    def _device_stats(self, device_id: str) -> Dict[str, int]:
+        return self.per_device.setdefault(device_id, {k: 0 for k in self._DEVICE_KEYS})
 
     def add(self, result: ServeResult) -> None:
         self.requested += result.requested
         self.served += result.served
         self.denied_quota += result.denied_quota
         self.battery_failures += result.battery_failures
-        stats = self.per_device.setdefault(
-            result.device_id,
-            {"requested": 0, "served": 0, "denied_quota": 0, "battery_failures": 0},
-        )
+        stats = self._device_stats(result.device_id)
         stats["requested"] += result.requested
         stats["served"] += result.served
         stats["denied_quota"] += result.denied_quota
         stats["battery_failures"] += result.battery_failures
+
+    def add_network_failure(self, device_id: str, n_queries: int) -> None:
+        """Account queries lost to a window-long device partition."""
+        self.requested += n_queries
+        self.network_failures += n_queries
+        stats = self._device_stats(device_id)
+        stats["requested"] += n_queries
+        stats["network_failures"] += n_queries
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -130,6 +145,7 @@ class FleetServeReport:
             "battery_failures": self.battery_failures,
             "devices_with_drift": self.devices_with_drift,
             "shard_recoveries": self.shard_recoveries,
+            "network_failures": self.network_failures,
             "served_fraction": self.served / max(self.requested, 1),
         }
 
@@ -151,9 +167,15 @@ class ServingEngine:
         ledgers: Optional[MutableMapping[str, UsageLedger]] = None,
         monitors: Optional[MutableMapping[str, EdgeMonitor]] = None,
         plans: Optional[MutableMapping[str, object]] = None,
+        fault_injector=None,
     ) -> None:
         self.fleet = fleet
         self.cost_model = cost_model or CostModel()
+        # Optional repro.faults.FaultInjector: serve_fleet consults it once
+        # per window (parent-side, before engine dispatch) to drop queries
+        # of partitioned devices, so batched/oracle/sharded all serve the
+        # identical filtered window.
+        self.fault_injector = fault_injector
         self.models: MutableMapping[str, object] = models if models is not None else {}
         self.ledgers: MutableMapping[str, UsageLedger] = ledgers if ledgers is not None else {}
         self.monitors: MutableMapping[str, EdgeMonitor] = monitors if monitors is not None else {}
@@ -463,6 +485,16 @@ class ServingEngine:
         report = FleetServeReport(model_name=model_name)
         for window in windows:
             report.n_windows += 1
+            if self.fault_injector is not None:
+                # Partitioned devices' queries never arrive: drop them
+                # before engine dispatch (every engine sees the identical
+                # filtered window) and surface them as network_failures —
+                # requested, unserved, unbilled.
+                window, dropped = self.fault_injector.filter_window(dict(window))
+                for device_id, x in dropped.items():
+                    n = int(np.asarray(x).shape[0])
+                    if n:
+                        report.add_network_failure(device_id, n)
             if runner is not None:
                 runner.serve_window(self, model_name, window, report, bits=32)
             elif engine == ENGINE_BATCHED:

@@ -64,16 +64,33 @@ class NetworkCondition:
         return self.kind != NetworkType.OFFLINE and self.bandwidth_bps > 0
 
     def transfer_time(self, payload_bytes: float) -> float:
-        """Seconds to transfer a payload (inf when offline)."""
+        """Seconds to transfer a payload (inf when not :attr:`online`)."""
         return transfer_time_s(payload_bytes, self)
 
     def transfer_cost(self, payload_bytes: float) -> float:
-        """Monetary cost (in the fleet's currency) of a transfer."""
+        """Monetary cost (in the fleet's currency) of a transfer.
+
+        A link that cannot transfer charges nothing: offline and
+        zero/negative-bandwidth conditions (``online`` is False, the
+        transfer time is inf) return 0.0 — the payload never crosses the
+        link, so no metered bytes accrue.  Negative payload sizes are a
+        caller bug and raise.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0")
+        if not self.online:
+            return 0.0
         return (payload_bytes / 1e6) * self.cost_per_mb
 
 
 def transfer_time_s(payload_bytes: float, condition: NetworkCondition) -> float:
-    """Round-trip-free transfer time estimate for a payload on a link."""
+    """Round-trip-free transfer time estimate for a payload on a link.
+
+    Offline and zero/negative-bandwidth conditions return inf (the
+    transfer never completes); negative payload sizes raise.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be >= 0")
     if not condition.online:
         return float("inf")
     return condition.latency_s + payload_bytes * 8.0 / condition.bandwidth_bps
@@ -95,6 +112,13 @@ class ConnectivityTrace:
 
     def __post_init__(self) -> None:
         n = len(self.states)
+        if n == 0:
+            raise ValueError("ConnectivityTrace needs at least one state")
+        for state in self.states:
+            if state not in _DEFAULTS:
+                raise KeyError(f"unknown network type {state!r}")
+        if self.initial is not None and self.initial not in self.states:
+            raise ValueError(f"initial state {self.initial!r} is not one of {tuple(self.states)}")
         if self.transition is None:
             # Sticky chain: mostly stay in the current state.
             self.transition = np.full((n, n), 0.1 / max(n - 1, 1))

@@ -1,0 +1,99 @@
+"""Deterministic fault-injection plane: seeded, replayable failures.
+
+The paper's fleets are operationally hostile — devices die mid-round,
+radios drop uplinks, workers hang — yet every invariant the platform
+sells (MAC-chained ledgers, exact billing, deterministic promotion) must
+survive.  This package makes failure a *first-class input*: a
+content-addressed :class:`FaultPlan` is generated from one seed, a
+:class:`FaultInjector` replays it against the serving, federated,
+sharded-runtime and lifecycle layers, and the chaos differential suite
+(``tests/faults/``) asserts the invariants hold for a whole matrix of
+plan seeds.  Because the plan is data-independent and the injector's
+counters are deterministic, any faulty run can be replayed
+fault-for-fault from ``(world seed, plan seed)`` alone.
+
+Fault kinds shipped today
+-------------------------
+
+=====================  ====================================================
+kind                   effect
+=====================  ====================================================
+``partition``          a device is unreachable for one serving window: its
+                       queries never arrive (counted as
+                       ``network_failures``, never billed)
+``device_crash``       a selected federated client vanishes before local
+                       training (no energy spent, no update)
+``uplink loss``        a delta-delivery attempt is dropped; the client
+                       retransmits under the shared :class:`RetryPolicy`
+``uplink corrupt``     a delivery attempt arrives damaged and is rejected
+                       (checksum model); retransmitted like a loss
+``duplicate``          the delivery succeeds but the uplink carries the
+                       payload twice (dedup keeps aggregation exact;
+                       bytes are billed)
+``worker raise/exit``  a shard worker process dies mid-task; the sharded
+                       runner retries, then re-executes in-process
+``hung shard``         a shard worker sleeps past the pool deadline;
+                       recovered exactly like a death
+``round_interrupt``    the coordinator crashes between cohort sweeps; a
+                       :class:`RoundCheckpoint` resumes the round
+                       byte-identically
+=====================  ====================================================
+
+Adding a fault kind
+-------------------
+
+1. *Plan it.*  Add a rate knob to :class:`FaultRates` and draw the new
+   event table in :meth:`FaultPlan.generate` — **append the draws after
+   the existing ones** so old seeds keep producing byte-identical plans,
+   and store the table as plain tuples so the content digest and JSON
+   round-trip stay canonical.
+2. *Inject it.*  Give :class:`FaultInjector` a query method for the
+   layer that consumes the event (a pure lookup plus, if the fault is
+   positional, a deterministic counter like ``_serve_window``), and
+   thread the injector call through that layer behind
+   ``if injector is not None`` so the no-injector path stays
+   byte-identical.
+3. *Prove it.*  Extend ``tests/faults/test_fault_plan.py`` (generation
+   determinism + digest stability) and add the new kind to the chaos
+   invariant matrix in ``tests/faults/test_chaos_invariants.py`` — the
+   empty-plan byte-identity and ledger/billing assertions must stay
+   green over every seed.
+
+Environment variables (the one place they are documented)
+---------------------------------------------------------
+
+``REPRO_SHARD_FAULT``
+    Env-driven worker fault for the sharded runtime, spelled
+    ``"<shard>:<raise|hang|exit>[:any]"`` (``repro.runtime.sharded``).
+    It predates the fault plane and remains supported for one-off
+    debugging; plan-driven shard faults (:meth:`FaultPlan.generate`
+    ``worker_fault`` rate, shipped per-payload by the runner) are the
+    replayable spelling.
+``REPRO_CHAOS_SEEDS``
+    Comma-separated fault-plan seeds for the chaos invariant suite
+    (``tests/faults/test_chaos_invariants.py``), e.g.
+    ``REPRO_CHAOS_SEEDS="0,1,2,3,5,8,13,21"``.  Unset, the suite runs
+    its default eight-seed matrix; CI's chaos-smoke leg pins the matrix
+    explicitly so the tested seeds are visible in the workflow file.
+``REPRO_TEST_WORKERS``
+    Default worker count for sharded runners built without an explicit
+    ``workers=`` (documented in ``repro.runtime.sharded``; listed here
+    because the chaos suite composes with it).
+"""
+
+from .checkpoint import CheckpointStore, RoundCheckpoint, RoundInterrupted
+from .injector import DeliveryResult, FaultInjector, RetryPolicy, simulate_delivery
+from .plan import FaultKind, FaultPlan, FaultRates
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultRates",
+    "FaultInjector",
+    "RetryPolicy",
+    "DeliveryResult",
+    "simulate_delivery",
+    "RoundCheckpoint",
+    "CheckpointStore",
+    "RoundInterrupted",
+]

@@ -1,0 +1,142 @@
+"""Transactional round checkpoints: interrupt a round, resume it byte-identically.
+
+A federated round is a transaction: selection → local training (one
+sweep per cohort) → delivery → quorum commit.  The coordinator can die
+between cohort sweeps; :class:`RoundCheckpoint` persists everything the
+round decided before the crash — the selection (including the
+scheduler's post-selection RNG stream state, because schedulers are
+*stateful* and re-selecting on resume would double-advance the stream),
+the fault-plan verdicts (crashes, delivery outcomes, quorum target) and
+every completed cohort's delta stack — content-addressed, so a resumed
+round replays the missing cohorts only and commits byte-identically to
+a run that was never interrupted (the chaos suite asserts this).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RoundInterrupted", "RoundCheckpoint", "CheckpointStore"]
+
+
+class RoundInterrupted(RuntimeError):
+    """The coordinator crashed mid-round; a checkpoint holds the progress.
+
+    Carries the round index and the checkpoint's content digest so the
+    caller can re-issue ``run_round`` against the same store and resume.
+    """
+
+    def __init__(self, round_index: int, checkpoint_digest: str) -> None:
+        super().__init__(
+            f"round {round_index} interrupted; resume from checkpoint {checkpoint_digest[:12]}"
+        )
+        self.round_index = int(round_index)
+        self.checkpoint_digest = checkpoint_digest
+
+
+@dataclass
+class RoundCheckpoint:
+    """Durable state of one in-flight round.
+
+    ``model_digest`` pins the global weights the round started from — a
+    checkpoint never resumes onto different weights.  ``cohorts`` maps
+    cohort position → the completed sweep's ``(indices, deltas, losses,
+    accs)`` payload; positions absent from the map still need training.
+    """
+
+    round_index: int
+    model_digest: str
+    selected: Tuple[str, ...]
+    contributors: Tuple[str, ...]
+    stragglers: Tuple[str, ...]
+    counts: Dict[str, int] = field(default_factory=dict)
+    delivered_rows: Optional[Tuple[int, ...]] = None
+    tx_counts: Optional[Tuple[int, ...]] = None
+    scheduler_state: Optional[dict] = None
+    cohorts: Dict[int, Dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def record_cohort(
+        self,
+        position: int,
+        indices: Sequence[int],
+        deltas: np.ndarray,
+        losses: np.ndarray,
+        accs: np.ndarray,
+    ) -> None:
+        """Persist one completed cohort sweep (arrays are copied)."""
+        self.cohorts[int(position)] = {
+            "indices": np.asarray(indices, dtype=np.int64).copy(),
+            "deltas": np.asarray(deltas, dtype=np.float64).copy(),
+            "losses": np.asarray(losses, dtype=np.float64).copy(),
+            "accs": np.asarray(accs, dtype=np.float64).copy(),
+        }
+
+    @property
+    def n_cohorts_done(self) -> int:
+        return len(self.cohorts)
+
+    def digest(self) -> str:
+        """Content address: sha256 over the metadata's canonical JSON and
+        every cohort payload's raw bytes in position order."""
+        h = hashlib.sha256()
+        meta = {
+            "round_index": self.round_index,
+            "model_digest": self.model_digest,
+            "selected": list(self.selected),
+            "contributors": list(self.contributors),
+            "stragglers": list(self.stragglers),
+            "counts": {k: int(v) for k, v in sorted(self.counts.items())},
+            "delivered_rows": None if self.delivered_rows is None else list(self.delivered_rows),
+            "tx_counts": None if self.tx_counts is None else list(self.tx_counts),
+            "scheduler_state": self.scheduler_state,
+        }
+        h.update(json.dumps(meta, sort_keys=True, separators=(",", ":"), default=int).encode())
+        for position in sorted(self.cohorts):
+            payload = self.cohorts[position]
+            h.update(str(position).encode())
+            for key in ("indices", "deltas", "losses", "accs"):
+                h.update(np.ascontiguousarray(payload[key]).tobytes())
+        return h.hexdigest()
+
+
+class CheckpointStore:
+    """Content-addressed archive of round checkpoints + a resume pointer.
+
+    ``put`` snapshots the checkpoint under its digest and records it as
+    the latest for its ``(round_index, model_digest)`` key;
+    ``latest_for`` hands back a *copy*, so a resumed run never mutates
+    the archived snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, RoundCheckpoint] = {}
+        self._latest: Dict[Tuple[int, str], str] = {}
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def put(self, checkpoint: RoundCheckpoint) -> str:
+        digest = checkpoint.digest()
+        if digest not in self._objects:
+            self._objects[digest] = copy.deepcopy(checkpoint)
+        self._latest[(checkpoint.round_index, checkpoint.model_digest)] = digest
+        return digest
+
+    def get(self, digest: str) -> Optional[RoundCheckpoint]:
+        found = self._objects.get(digest)
+        return copy.deepcopy(found) if found is not None else None
+
+    def latest_for(self, round_index: int, model_digest: str) -> Optional[RoundCheckpoint]:
+        digest = self._latest.get((int(round_index), model_digest))
+        return self.get(digest) if digest is not None else None
+
+    def clear_round(self, round_index: int) -> None:
+        """Drop resume pointers for a committed round (archive stays)."""
+        for key in [k for k in self._latest if k[0] == int(round_index)]:
+            del self._latest[key]

@@ -1,0 +1,239 @@
+"""Content-addressed, seeded fault plans.
+
+A :class:`FaultPlan` is the *complete* failure schedule of a run, drawn
+up front from one seed: which devices partition in which serving
+windows, which federated clients crash in which rounds, the outcome
+sequence of every delta-delivery attempt, which shard workers die in
+which dispatch, and where the coordinator itself gets interrupted.
+Plans are plain immutable data — no RNG state, no callbacks — so they
+serialize to canonical JSON, hash to a stable content digest, and replay
+byte-identically anywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultRates", "FaultPlan"]
+
+
+class FaultKind:
+    """String constants naming the fault kinds a plan can schedule."""
+
+    PARTITION = "partition"
+    DEVICE_CRASH = "device_crash"
+    # Per-delivery-attempt outcome codes (see FaultPlan.deliveries).
+    DELIVERY_OK = "ok"
+    DELIVERY_LOST = "lost"
+    DELIVERY_CORRUPT = "corrupt"
+    DELIVERY_DUPLICATE = "duplicate"
+    # Shard worker fault modes (repro.runtime.sharded spelling).
+    WORKER_RAISE = "raise"
+    WORKER_EXIT = "exit"
+    WORKER_HANG = "hang"
+    ROUND_INTERRUPT = "round_interrupt"
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-event probabilities used by :meth:`FaultPlan.generate`.
+
+    All rates default to 0 except the classic radio faults, so
+    ``FaultRates()`` yields a lossy-network plan and explicit knobs opt
+    into the heavier process-level chaos.  ``max_attempt_draws`` caps the
+    per-(round, client) delivery outcome sequence: a client whose first
+    ``max_attempt_draws`` attempts all fail is considered unreachable for
+    the round (its link is down, not merely lossy).
+    """
+
+    partition: float = 0.05
+    device_crash: float = 0.05
+    uplink_loss: float = 0.10
+    uplink_corrupt: float = 0.05
+    uplink_duplicate: float = 0.05
+    worker_fault: float = 0.0
+    round_interrupt: float = 0.0
+    max_attempt_draws: int = 6
+    worker_fault_modes: Tuple[str, ...] = (FaultKind.WORKER_RAISE, FaultKind.WORKER_EXIT)
+
+    def __post_init__(self) -> None:
+        for name in ("partition", "device_crash", "uplink_loss", "uplink_corrupt",
+                     "uplink_duplicate", "worker_fault", "round_interrupt"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.uplink_loss + self.uplink_corrupt > 1.0:
+            raise ValueError("uplink_loss + uplink_corrupt must not exceed 1")
+        if self.max_attempt_draws < 1:
+            raise ValueError("max_attempt_draws must be >= 1")
+        for mode in self.worker_fault_modes:
+            if mode not in (FaultKind.WORKER_RAISE, FaultKind.WORKER_EXIT, FaultKind.WORKER_HANG):
+                raise ValueError(f"unknown worker fault mode {mode!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, content-addressed failure schedule.
+
+    Event tables (all sparse — only non-trivial events are stored):
+
+    ``serve_offline``
+        ``(window_index, device_id)`` pairs: the device is partitioned
+        for that serving window.
+    ``crashes``
+        ``(round_index, client_id)`` pairs: the client vanishes before
+        local training.
+    ``deliveries``
+        ``(round_index, client_id, outcomes)`` where ``outcomes`` is the
+        per-attempt code sequence (``"lost"`` / ``"corrupt"`` /
+        ``"duplicate"`` / ``"ok"``).  Absent pairs deliver first try.  A
+        sequence of straight failures with no success code marks the
+        link down for the whole round — extra attempts keep failing
+        (generation emits these at the full ``max_attempt_draws``
+        length; to encode "fail then recover", end with ``"ok"``).
+    ``shard_faults``
+        ``(scope, dispatch_index, shard_index, mode)`` — the
+        ``dispatch_index``-th pooled dispatch of ``scope`` (``"serve"``
+        or ``"train"``) kills/hangs that shard's worker.
+    ``interrupts``
+        ``(round_index, after_cohorts)`` — the coordinator crashes after
+        completing that many cohort sweeps (checkpoint/resume path).
+    """
+
+    seed: int
+    serve_offline: Tuple[Tuple[int, str], ...] = ()
+    crashes: Tuple[Tuple[int, str], ...] = ()
+    deliveries: Tuple[Tuple[int, str, Tuple[str, ...]], ...] = ()
+    shard_faults: Tuple[Tuple[str, int, int, str], ...] = ()
+    interrupts: Tuple[Tuple[int, int], ...] = ()
+    rates: FaultRates = field(default_factory=FaultRates)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultPlan":
+        """The no-fault plan: every layer behaves byte-identically to a
+        run without an injector at all (the chaos suite asserts this)."""
+        return cls(seed=seed, rates=FaultRates(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        device_ids: Sequence[str] = (),
+        client_ids: Sequence[str] = (),
+        n_windows: int = 0,
+        n_rounds: int = 0,
+        rates: FaultRates = FaultRates(),
+        n_dispatches: int = 4,
+        max_shards: int = 8,
+    ) -> "FaultPlan":
+        """Draw a plan from one seed with a fixed, documented draw order.
+
+        Draw order (append new kinds at the end — see the package
+        docstring's recipe): partitions per ``(window, device)``, crashes
+        per ``(round, client)``, delivery outcomes per ``(round,
+        client)``, shard faults per ``(scope, dispatch, shard)``,
+        interrupts per round.  Iteration is row-major over the given
+        sequences, so identical inputs yield byte-identical plans.
+        """
+        rng = np.random.default_rng(seed)
+        serve_offline = []
+        for w in range(n_windows):
+            for did in device_ids:
+                if rng.random() < rates.partition:
+                    serve_offline.append((w, str(did)))
+        crashes = []
+        for r in range(n_rounds):
+            for cid in client_ids:
+                if rng.random() < rates.device_crash:
+                    crashes.append((r, str(cid)))
+        crashed = set(crashes)
+        deliveries = []
+        lossy = rates.uplink_loss + rates.uplink_corrupt + rates.uplink_duplicate > 0.0
+        for r in range(n_rounds):
+            for cid in client_ids:
+                if not lossy:
+                    break
+                outcomes = []
+                for _ in range(rates.max_attempt_draws):
+                    draw = rng.random()
+                    if draw < rates.uplink_loss:
+                        outcomes.append(FaultKind.DELIVERY_LOST)
+                        continue
+                    if draw < rates.uplink_loss + rates.uplink_corrupt:
+                        outcomes.append(FaultKind.DELIVERY_CORRUPT)
+                        continue
+                    dup = rng.random() < rates.uplink_duplicate
+                    outcomes.append(FaultKind.DELIVERY_DUPLICATE if dup else FaultKind.DELIVERY_OK)
+                    break
+                # Only non-trivial sequences are stored; crashed clients
+                # never attempt delivery, but their draws above keep the
+                # stream aligned across rate changes.
+                if tuple(outcomes) != (FaultKind.DELIVERY_OK,) and (r, str(cid)) not in crashed:
+                    deliveries.append((r, str(cid), tuple(outcomes)))
+        shard_faults = []
+        if rates.worker_fault > 0.0 and rates.worker_fault_modes:
+            for scope in ("serve", "train"):
+                for dispatch in range(n_dispatches):
+                    for shard in range(max_shards):
+                        if rng.random() < rates.worker_fault:
+                            mode = rates.worker_fault_modes[
+                                int(rng.integers(0, len(rates.worker_fault_modes)))
+                            ]
+                            shard_faults.append((scope, dispatch, shard, mode))
+        interrupts = []
+        for r in range(n_rounds):
+            if rng.random() < rates.round_interrupt:
+                interrupts.append((r, int(rng.integers(0, 3))))
+        return cls(
+            seed=seed,
+            serve_offline=tuple(serve_offline),
+            crashes=tuple(crashes),
+            deliveries=tuple(deliveries),
+            shard_faults=tuple(shard_faults),
+            interrupts=tuple(interrupts),
+            rates=rates,
+        )
+
+    # -- identity --------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not (self.serve_offline or self.crashes or self.deliveries
+                    or self.shard_faults or self.interrupts)
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace — digest input."""
+        payload = {
+            "seed": self.seed,
+            "serve_offline": [list(e) for e in self.serve_offline],
+            "crashes": [list(e) for e in self.crashes],
+            "deliveries": [[r, c, list(o)] for r, c, o in self.deliveries],
+            "shard_faults": [list(e) for e in self.shard_faults],
+            "interrupts": [list(e) for e in self.interrupts],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        raw: Dict = json.loads(text)
+        return cls(
+            seed=int(raw["seed"]),
+            serve_offline=tuple((int(w), str(d)) for w, d in raw["serve_offline"]),
+            crashes=tuple((int(r), str(c)) for r, c in raw["crashes"]),
+            deliveries=tuple(
+                (int(r), str(c), tuple(str(o) for o in outs)) for r, c, outs in raw["deliveries"]
+            ),
+            shard_faults=tuple((str(s), int(d), int(i), str(m)) for s, d, i, m in raw["shard_faults"]),
+            interrupts=tuple((int(r), int(k)) for r, k in raw["interrupts"]),
+        )
+
+    def digest(self) -> str:
+        """Stable content address of the schedule (sha256 of the
+        canonical JSON); two plans with equal events share a digest even
+        if they were generated with different rate objects."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()

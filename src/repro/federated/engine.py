@@ -72,6 +72,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dispatch import ENGINE_ORACLE, ENGINE_SHARDED, resolve_engine
+from repro.faults import (
+    CheckpointStore,
+    FaultInjector,
+    RetryPolicy,
+    RoundCheckpoint,
+    RoundInterrupted,
+    simulate_delivery,
+)
 from repro.nn import activations as A
 from repro.nn.layers import Dense, Dropout, Layer
 from repro.nn.model import Sequential
@@ -118,6 +126,20 @@ class RoundResult:
     # (repro.runtime.sharded); 0 on fault-free runs and single-process
     # engines, so cross-engine result equality is unaffected.
     shard_recoveries: int = 0
+    # Degradation telemetry (repro.faults): clients that crashed before
+    # training, delta deliveries that never arrived, the retransmit /
+    # duplicate traffic the retry policy generated, and — when a quorum is
+    # configured — the commit target plus how far an aborted round fell
+    # short.  All zero/False on fault-free runs, so cross-engine result
+    # equality is unaffected.
+    n_crashes: int = 0
+    n_delivery_failures: int = 0
+    n_retransmits: int = 0
+    n_duplicates: int = 0
+    quorum_required: int = 0
+    quorum_shortfall: int = 0
+    aborted: bool = False
+    abort_reason: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -132,6 +154,14 @@ class RoundResult:
             "n_stragglers": self.n_stragglers,
             "n_byzantine": self.n_byzantine,
             "shard_recoveries": self.shard_recoveries,
+            "n_crashes": self.n_crashes,
+            "n_delivery_failures": self.n_delivery_failures,
+            "n_retransmits": self.n_retransmits,
+            "n_duplicates": self.n_duplicates,
+            "quorum_required": self.quorum_required,
+            "quorum_shortfall": self.quorum_shortfall,
+            "aborted": self.aborted,
+            "abort_reason": self.abort_reason,
         }
 
 
@@ -175,6 +205,14 @@ class RoundScenario:
             raise ValueError("dropout_rate must be in [0, 1)")
         if self.byzantine_mode not in ("scale", "flip"):
             raise ValueError("byzantine_mode must be 'scale' or 'flip'")
+        if self.straggler_timeout_s is not None and self.straggler_timeout_s <= 0.0:
+            raise ValueError("straggler_timeout_s must be positive (or None to disable)")
+        if self.time_per_sample_s < 0.0:
+            raise ValueError("time_per_sample_s must be >= 0")
+        if self.latency_jitter < 0.0:
+            raise ValueError("latency_jitter must be >= 0")
+        if self.byzantine_scale <= 0.0:
+            raise ValueError("byzantine_scale must be positive ('flip' supplies the sign)")
         self.byzantine_ids = frozenset(self.byzantine_ids)
 
 
@@ -764,6 +802,45 @@ def train_clients_batched(
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class _RoundPlan:
+    """Everything a round decides *before* any local training happens.
+
+    Scenario dropouts/stragglers, fault-plan crashes, the simulated
+    delivery verdict of every surviving contributor and the quorum
+    check are all data-independent (seeded RNG + plan lookups only), so
+    the engine resolves them up front.  That is what makes the quorum
+    abort transactional: an aborted round is decided at admission time
+    and performs *zero* work — no training, no energy drain, no weight
+    update — leaving fleet planes, ledgers and client RNG streams
+    byte-untouched.  ``trivial`` marks the no-scenario/no-fault/no-quorum
+    case where every engine path must stay byte-identical to its
+    pre-fault-plane behaviour.
+    """
+
+    selected: List[str]
+    contributors: List[str]
+    stragglers: List[str]
+    n_dropouts: int = 0
+    n_stragglers: int = 0
+    n_crashes: int = 0
+    # Rows into ``contributors`` whose delta arrived (None = all), and the
+    # per-row uplink transmission count (attempts + duplicates).
+    delivered_rows: Optional[List[int]] = None
+    tx_counts: Optional[List[int]] = None
+    n_retransmits: int = 0
+    n_duplicates: int = 0
+    n_delivery_failures: int = 0
+    quorum_required: int = 0
+    aborted: bool = False
+    abort_reason: str = ""
+    trivial: bool = True
+
+    @property
+    def n_delivered(self) -> int:
+        return len(self.contributors) if self.delivered_rows is None else len(self.delivered_rows)
+
+
 class FederatedEngine:
     """Executes federated rounds fleet-wide instead of client-by-client.
 
@@ -781,6 +858,26 @@ class FederatedEngine:
     scenario:
         Optional :class:`RoundScenario` describing dropouts, stragglers and
         byzantine clients.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector` replaying a seeded
+        :class:`~repro.faults.FaultPlan` against the round loop: client
+        crashes, lossy/corrupted/duplicated delta deliveries (retried
+        under ``retry_policy``) and coordinator interrupts.  ``None`` (and
+        an empty plan) keep every path byte-identical to the plain engine.
+    quorum:
+        Optional commit fraction in ``(0, 1]``: a round merges iff at
+        least ``ceil(quorum * n_selected)`` deltas are delivered,
+        otherwise it aborts deterministically with zero side effects.
+    retry_policy:
+        The :class:`repro.faults.RetryPolicy` governing delta-delivery
+        retries (defaults to ``RetryPolicy()`` when an injector is set).
+    checkpoints:
+        Optional :class:`repro.faults.CheckpointStore`.  When set, the
+        batched round loop persists a :class:`RoundCheckpoint` after
+        selection and after every completed cohort sweep; a
+        ``RoundInterrupted`` round re-issued against the same store
+        resumes from the checkpoint and commits byte-identically to an
+        uninterrupted run.
     """
 
     def __init__(
@@ -795,9 +892,15 @@ class FederatedEngine:
         device_map: Optional[Dict[str, str]] = None,
         scenario: Optional[RoundScenario] = None,
         train_energy_factor: float = 3.0,
+        fault_injector: Optional[FaultInjector] = None,
+        quorum: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoints: Optional[CheckpointStore] = None,
     ) -> None:
         if not clients:
             raise ValueError("at least one client is required")
+        if quorum is not None and not 0.0 < quorum <= 1.0:
+            raise ValueError("quorum must be in (0, 1]")
         self.global_model = global_model
         self.clients: Dict[str, FederatedClient] = {c.client_id: c for c in clients}
         self.aggregator = aggregator or FedAvgAggregator()
@@ -808,6 +911,10 @@ class FederatedEngine:
         self.device_map = dict(device_map or {})
         self.scenario = scenario
         self.train_energy_factor = float(train_energy_factor)
+        self.fault_injector = fault_injector
+        self.quorum = None if quorum is None else float(quorum)
+        self.retry_policy = retry_policy
+        self.checkpoints = checkpoints
         self.history: List[RoundResult] = []
         self._model_bytes = self.global_model.get_flat_weights().size * 4
         self._cost_model = None
@@ -942,18 +1049,187 @@ class FederatedEngine:
                 n += 1
         return n
 
+    # -- fault plane ------------------------------------------------------
+    def _weights_digest(self) -> str:
+        """Content address of the current global weights (checkpoint key)."""
+        import hashlib
+
+        return hashlib.sha256(
+            np.ascontiguousarray(self.global_model.get_flat_weights()).tobytes()
+        ).hexdigest()
+
+    def _scheduler_rng_state(self) -> Optional[dict]:
+        """The scheduler's post-selection RNG stream state, if it has one.
+
+        Stock schedulers (``RandomScheduler`` / ``EligibilityScheduler``)
+        keep a persistent ``_rng`` Generator, so a resumed round must
+        restore — not re-draw — the stream or every later round diverges.
+        """
+        rng = getattr(self.scheduler, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            return rng.bit_generator.state
+        return None
+
+    def _restore_scheduler_rng(self, state: Optional[dict]) -> None:
+        rng = getattr(self.scheduler, "_rng", None)
+        if state is not None and isinstance(rng, np.random.Generator):
+            rng.bit_generator.state = state
+
+    def _plan_round(self, round_index: int, selected: List[str]) -> _RoundPlan:
+        """Resolve every pre-training decision of a round.
+
+        Applies the scenario (dropouts/stragglers), the fault plan's
+        client crashes, simulates each surviving contributor's delta
+        delivery under the retry policy, and runs the quorum check.  All
+        of it is data-independent, so an abort can be decided before any
+        work is scheduled and costs nothing.
+        """
+        contributors, stragglers, n_dropouts, n_stragglers = self._apply_scenario(selected, round_index)
+        plan = _RoundPlan(
+            selected=list(selected),
+            contributors=list(contributors),
+            stragglers=list(stragglers),
+            n_dropouts=n_dropouts,
+            n_stragglers=n_stragglers,
+            trivial=self.scenario is None and self.fault_injector is None and self.quorum is None,
+        )
+        inj = self.fault_injector
+        if inj is not None:
+            crashed = set(inj.crashed_clients(round_index, plan.contributors))
+            if crashed:
+                plan.contributors = [cid for cid in plan.contributors if cid not in crashed]
+                plan.n_crashes = len(crashed)
+            policy = self.retry_policy or inj.retry_policy
+            delivered_rows: List[int] = []
+            tx_counts: List[int] = []
+            for row, cid in enumerate(plan.contributors):
+                outcomes = inj.delivery_outcomes(round_index, cid)
+                verdict = simulate_delivery(
+                    outcomes, policy, seed=[inj.plan.seed, round_index, row]
+                )
+                tx_counts.append(verdict.transmissions)
+                plan.n_retransmits += verdict.retransmits
+                plan.n_duplicates += verdict.duplicates
+                if verdict.delivered:
+                    delivered_rows.append(row)
+                else:
+                    plan.n_delivery_failures += 1
+            plan.delivered_rows = delivered_rows
+            plan.tx_counts = tx_counts
+        if self.quorum is not None:
+            plan.quorum_required = int(math.ceil(self.quorum * len(selected)))
+            if plan.n_delivered < plan.quorum_required:
+                plan.aborted = True
+                plan.abort_reason = (
+                    f"quorum not met: {plan.n_delivered}/{plan.quorum_required} "
+                    f"deliverable of {len(selected)} selected"
+                )
+        return plan
+
+    def _abort_result(self, round_index: int, plan: _RoundPlan) -> RoundResult:
+        """A deterministic abort: the coordinator refuses to start a round
+        it already knows cannot commit, so nothing is broadcast, trained,
+        drained or merged — fleet planes, ledgers and RNG streams stay
+        byte-untouched (the chaos suite asserts this against a no-fault
+        world)."""
+        result = RoundResult(
+            round_index, [], 0.0, self._evaluate(), 0, 0,
+            n_selected=len(plan.selected),
+            n_dropouts=plan.n_dropouts,
+            n_stragglers=plan.n_stragglers,
+            n_crashes=plan.n_crashes,
+            n_delivery_failures=plan.n_delivery_failures,
+            n_retransmits=plan.n_retransmits,
+            n_duplicates=plan.n_duplicates,
+            quorum_required=plan.quorum_required,
+            quorum_shortfall=plan.quorum_required - plan.n_delivered,
+            aborted=True,
+            abort_reason=plan.abort_reason,
+        )
+        self.history.append(result)
+        return result
+
+    def _plan_from_checkpoint(self, ckpt: RoundCheckpoint) -> _RoundPlan:
+        counts = ckpt.counts
+        return _RoundPlan(
+            selected=list(ckpt.selected),
+            contributors=list(ckpt.contributors),
+            stragglers=list(ckpt.stragglers),
+            n_dropouts=int(counts.get("n_dropouts", 0)),
+            n_stragglers=int(counts.get("n_stragglers", 0)),
+            n_crashes=int(counts.get("n_crashes", 0)),
+            delivered_rows=None if ckpt.delivered_rows is None else list(ckpt.delivered_rows),
+            tx_counts=None if ckpt.tx_counts is None else list(ckpt.tx_counts),
+            n_retransmits=int(counts.get("n_retransmits", 0)),
+            n_duplicates=int(counts.get("n_duplicates", 0)),
+            n_delivery_failures=int(counts.get("n_delivery_failures", 0)),
+            quorum_required=int(counts.get("quorum_required", 0)),
+            trivial=bool(counts.get("trivial", 0)),
+        )
+
+    def _checkpoint_for(self, round_index: int, plan: _RoundPlan) -> RoundCheckpoint:
+        return RoundCheckpoint(
+            round_index=round_index,
+            model_digest=self._weights_digest(),
+            selected=tuple(plan.selected),
+            contributors=tuple(plan.contributors),
+            stragglers=tuple(plan.stragglers),
+            counts={
+                "n_dropouts": plan.n_dropouts,
+                "n_stragglers": plan.n_stragglers,
+                "n_crashes": plan.n_crashes,
+                "n_retransmits": plan.n_retransmits,
+                "n_duplicates": plan.n_duplicates,
+                "n_delivery_failures": plan.n_delivery_failures,
+                "quorum_required": plan.quorum_required,
+                "trivial": int(plan.trivial),
+            },
+            delivered_rows=None if plan.delivered_rows is None else tuple(plan.delivered_rows),
+            tx_counts=None if plan.tx_counts is None else tuple(plan.tx_counts),
+            scheduler_state=self._scheduler_rng_state(),
+        )
+
     # -- round execution -------------------------------------------------
-    def _collect_deltas(self, contributors: Sequence[str]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _collect_deltas(
+        self,
+        contributors: Sequence[str],
+        round_index: Optional[int] = None,
+        checkpoint: Optional[RoundCheckpoint] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Local training for the contributors: one vectorized sweep per
-        homogeneous cohort, per-client fallback for the rest."""
+        homogeneous cohort, per-client fallback for the rest.
+
+        With a ``checkpoint``, already-recorded cohorts are restored
+        instead of retrained (their sweeps are pure functions of the
+        global weights, so the restored rows are the bytes a retrain
+        would produce), every fresh cohort is persisted to the engine's
+        checkpoint store as it completes, and a fault-plan coordinator
+        interrupt raises :class:`RoundInterrupted` *between* sweeps —
+        after the finished work is safely checkpointed.
+        """
         clients = [self.clients[cid] for cid in contributors]
         n_params = self.global_model.get_flat_weights().size
         deltas = np.zeros((len(clients), n_params))
         losses = np.zeros(len(clients))
         accs = np.zeros(len(clients))
-        for cohort in partition_cohorts(self.global_model, clients):
+        inj = self.fault_injector if checkpoint is not None else None
+        completed = 0
+        for position, cohort in enumerate(partition_cohorts(self.global_model, clients)):
             if cohort.kind == "idle":
                 continue  # zero-sample clients keep their zero rows
+            if checkpoint is not None and position in checkpoint.cohorts:
+                payload = checkpoint.cohorts[position]
+                idx = payload["indices"].tolist()
+                deltas[idx] = payload["deltas"]
+                losses[idx] = payload["losses"]
+                accs[idx] = payload["accs"]
+                completed += 1
+                continue
+            if inj is not None:
+                after = inj.interrupt_after(round_index)
+                if after is not None and completed >= after:
+                    inj.fire_interrupt(round_index)
+                    raise RoundInterrupted(round_index, self.checkpoints.put(checkpoint))
             if cohort.batched:
                 sub = [clients[i] for i in cohort.indices]
                 d, l, a = train_clients_batched(self.global_model, sub)
@@ -962,11 +1238,30 @@ class FederatedEngine:
                 losses[idx] = l
                 accs[idx] = a
             else:
-                for i in cohort.indices:
+                idx = list(cohort.indices)
+                d = np.zeros((len(idx), n_params))
+                l = np.zeros(len(idx))
+                a = np.zeros(len(idx))
+                for j, i in enumerate(idx):
                     update = clients[i].train_round(self.global_model)
-                    deltas[i] = update.delta
-                    losses[i] = update.local_loss
-                    accs[i] = update.metrics.get("local_accuracy", 0.0)
+                    d[j] = update.delta
+                    l[j] = update.local_loss
+                    a[j] = update.metrics.get("local_accuracy", 0.0)
+                deltas[idx] = d
+                losses[idx] = l
+                accs[idx] = a
+            completed += 1
+            if checkpoint is not None:
+                checkpoint.record_cohort(position, idx, deltas[idx], losses[idx], accs[idx])
+                self.checkpoints.put(checkpoint)
+        if inj is not None:
+            # An interrupt scheduled at-or-past the cohort count fires
+            # after the last sweep: all work is checkpointed, only the
+            # commit is missing — resume replays it from restored rows.
+            after = inj.interrupt_after(round_index)
+            if after is not None and completed >= after:
+                inj.fire_interrupt(round_index)
+                raise RoundInterrupted(round_index, self.checkpoints.put(checkpoint))
         return deltas, losses, accs
 
     def run_round(
@@ -986,6 +1281,18 @@ class FederatedEngine:
         :attr:`shard_runner` to customize backend/timeouts) and merges the
         delta stack at a barrier, byte-identical to the batched path
         (:mod:`repro.dispatch`).
+
+        Fault semantics (``fault_injector`` / ``quorum`` /
+        ``checkpoints``, see :mod:`repro.faults`): crashes, delivery
+        verdicts and the quorum check resolve *before* training
+        (:meth:`_plan_round`) identically on every engine path; a quorum
+        shortfall aborts with zero side effects.  With a checkpoint
+        store the cohort sweeps run in-process even under
+        ``engine="sharded"`` (the sharded merge is all-or-nothing and
+        byte-identical, so checkpointing mid-dispatch would add nothing)
+        and a fault-plan coordinator interrupt raises
+        :class:`~repro.faults.RoundInterrupted`; re-issuing the same
+        ``run_round`` resumes from the checkpoint byte-identically.
         """
         engine = resolve_engine(
             engine, None, owner="FederatedEngine.run_round", extra=(ENGINE_SHARDED,)
@@ -997,14 +1304,26 @@ class FederatedEngine:
             from repro.runtime.sharded import ShardedFleetRunner
 
             runner = self.shard_runner or ShardedFleetRunner(workers=workers)
-        context = device_context if device_context is not None else self.fleet_context()
-        selected = self.scheduler.select(list(self.clients), round_index, context=context)
-        if not selected:
-            result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
-            self.history.append(result)
-            return result
 
-        contributors, stragglers, n_dropouts, n_stragglers = self._apply_scenario(selected, round_index)
+        resume = None
+        if self.checkpoints is not None:
+            resume = self.checkpoints.latest_for(round_index, self._weights_digest())
+        if resume is not None:
+            selected = list(resume.selected)
+            plan = self._plan_from_checkpoint(resume)
+            self._restore_scheduler_rng(resume.scheduler_state)
+        else:
+            context = device_context if device_context is not None else self.fleet_context()
+            selected = self.scheduler.select(list(self.clients), round_index, context=context)
+            if not selected:
+                result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
+                self.history.append(result)
+                return result
+            plan = self._plan_round(round_index, selected)
+
+        if plan.aborted:
+            return self._abort_result(round_index, plan)
+        contributors, stragglers = plan.contributors, plan.stragglers
         downlink = self._model_bytes * len(selected)
         if not contributors:
             # Stragglers still trained (and pay for it) even though every
@@ -1012,51 +1331,89 @@ class FederatedEngine:
             self._drain_training_energy(stragglers)
             result = RoundResult(
                 round_index, [], 0.0, self._evaluate(), 0, int(downlink),
-                n_selected=len(selected), n_dropouts=n_dropouts, n_stragglers=n_stragglers,
+                n_selected=len(selected), n_dropouts=plan.n_dropouts,
+                n_stragglers=plan.n_stragglers, n_crashes=plan.n_crashes,
+                quorum_required=plan.quorum_required,
             )
             self.history.append(result)
             return result
 
-        if runner is not None:
+        checkpoint = resume
+        if self.checkpoints is not None and checkpoint is None:
+            checkpoint = self._checkpoint_for(round_index, plan)
+            self.checkpoints.put(checkpoint)
+        if runner is not None and checkpoint is None:
             deltas, losses, accs, shard_recoveries = runner.collect_deltas(self, contributors)
         else:
-            deltas, losses, accs = self._collect_deltas(contributors)
+            deltas, losses, accs = self._collect_deltas(
+                contributors, round_index=round_index, checkpoint=checkpoint
+            )
             shard_recoveries = 0
         n_byzantine = self._corrupt_deltas(contributors, deltas)
         decompressed, nbytes = self.compressor.roundtrip_batch(deltas)
-        n_samples = np.array([self.clients[cid].n_samples for cid in contributors], dtype=np.float64)
-        if type(self.aggregator) is FedAvgAggregator:
-            # Fast path: we already hold the stack FedAvg would build, so
-            # skip the per-update object churn.
-            delta = self.aggregator.aggregate_stack(decompressed, n_samples)
+        if plan.delivered_rows is None:
+            rows = None
+            participants = list(contributors)
+            uplink = int(nbytes.sum())
         else:
-            updates = [
-                ClientUpdate(
-                    client_id=cid,
-                    delta=decompressed[i],
-                    n_samples=self.clients[cid].n_samples,
-                    local_loss=float(losses[i]),
-                    metrics={"local_accuracy": float(accs[i])} if self.clients[cid].n_samples > 0 else {},
-                )
-                for i, cid in enumerate(contributors)
-            ]
-            delta = self.aggregator.aggregate(updates)
-        self.global_model.set_flat_weights(self.global_model.get_flat_weights() + delta)
+            rows = np.asarray(plan.delivered_rows, dtype=np.int64)
+            participants = [contributors[i] for i in plan.delivered_rows]
+            # Every attempt (and duplicate) of every contributor crossed
+            # the uplink, including the ones that never arrived.
+            uplink = int(np.sum(nbytes * np.asarray(plan.tx_counts, dtype=np.int64)))
+        if participants:
+            kept = decompressed if rows is None else decompressed[rows]
+            kept_losses = losses if rows is None else losses[rows]
+            kept_accs = accs if rows is None else accs[rows]
+            n_samples = np.array(
+                [self.clients[cid].n_samples for cid in participants], dtype=np.float64
+            )
+            if type(self.aggregator) is FedAvgAggregator:
+                # Fast path: we already hold the stack FedAvg would build,
+                # so skip the per-update object churn.
+                delta = self.aggregator.aggregate_stack(kept, n_samples)
+            else:
+                updates = [
+                    ClientUpdate(
+                        client_id=cid,
+                        delta=kept[i],
+                        n_samples=self.clients[cid].n_samples,
+                        local_loss=float(kept_losses[i]),
+                        metrics={"local_accuracy": float(kept_accs[i])} if self.clients[cid].n_samples > 0 else {},
+                    )
+                    for i, cid in enumerate(participants)
+                ]
+                delta = self.aggregator.aggregate(updates)
+            self.global_model.set_flat_weights(self.global_model.get_flat_weights() + delta)
+            train_loss = float(np.mean(kept_losses))
+            mean_local_accuracy = float(np.mean(kept_accs))
+        else:
+            # Everyone trained but nothing arrived (and no quorum was set
+            # to abort): the round commits no delta.
+            train_loss = 0.0
+            mean_local_accuracy = 0.0
         self._drain_training_energy(list(contributors) + stragglers)
+        if self.checkpoints is not None:
+            self.checkpoints.clear_round(round_index)
 
         result = RoundResult(
             round_index=round_index,
-            participants=list(contributors),
-            train_loss=float(np.mean(losses)),
+            participants=participants,
+            train_loss=train_loss,
             global_accuracy=self._evaluate(),
-            uplink_bytes=int(nbytes.sum()),
+            uplink_bytes=uplink,
             downlink_bytes=int(downlink),
-            mean_local_accuracy=float(np.mean(accs)),
+            mean_local_accuracy=mean_local_accuracy,
             n_selected=len(selected),
-            n_dropouts=n_dropouts,
-            n_stragglers=n_stragglers,
+            n_dropouts=plan.n_dropouts,
+            n_stragglers=plan.n_stragglers,
             n_byzantine=n_byzantine,
             shard_recoveries=shard_recoveries,
+            n_crashes=plan.n_crashes,
+            n_delivery_failures=plan.n_delivery_failures,
+            n_retransmits=plan.n_retransmits,
+            n_duplicates=plan.n_duplicates,
+            quorum_required=plan.quorum_required,
         )
         self.history.append(result)
         return result
@@ -1076,19 +1433,55 @@ class FederatedEngine:
         self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
     ) -> RoundResult:
         """The seed-era per-client round loop, kept as the equivalence and
-        performance baseline for ``bench_e6`` (no scenario support)."""
+        performance baseline for ``bench_e6``.
+
+        Scenarios and the fault plane resolve through the same
+        :meth:`_plan_round` as the batched path — the dropout/straggler/
+        byzantine RNG draws, crash sets, delivery verdicts and quorum
+        decision are *identical* across ``engine="batched"|"oracle"|
+        "sharded"`` (a differential test asserts this); only the local
+        training and aggregation arithmetic stay scalar.  With no
+        scenario, injector or quorum configured the loop is byte-for-byte
+        the seed-era baseline (participants = selection, no energy
+        drain), preserving every pre-fault-plane comparison.
+        """
         context = device_context if device_context is not None else self.fleet_context()
         selected = self.scheduler.select(list(self.clients), round_index, context=context)
         if not selected:
             result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
             self.history.append(result)
             return result
+        plan = self._plan_round(round_index, selected)
+        if plan.aborted:
+            return self._abort_result(round_index, plan)
+        contributors, stragglers = plan.contributors, plan.stragglers
+        downlink = self._model_bytes * len(selected)
+        if not contributors:
+            self._drain_training_energy(stragglers)
+            result = RoundResult(
+                round_index, [], 0.0, self._evaluate(), 0, int(downlink),
+                n_selected=len(selected), n_dropouts=plan.n_dropouts,
+                n_stragglers=plan.n_stragglers, n_crashes=plan.n_crashes,
+                quorum_required=plan.quorum_required,
+            )
+            self.history.append(result)
+            return result
+        sc = self.scenario
+        byz_factor = 1.0
+        if sc is not None and sc.byzantine_ids:
+            byz_factor = -sc.byzantine_scale if sc.byzantine_mode == "flip" else sc.byzantine_scale
         updates: List[ClientUpdate] = []
         uplink = 0
-        for cid in selected:
+        n_byzantine = 0
+        for row, cid in enumerate(contributors):
             update = self.clients[cid].train_round(self.global_model)
-            decompressed, compressed = self.compressor.roundtrip(update.delta)
-            uplink += compressed.nbytes
+            delta_out = update.delta
+            if byz_factor != 1.0 and cid in sc.byzantine_ids:
+                delta_out = delta_out * byz_factor
+                n_byzantine += 1
+            decompressed, compressed = self.compressor.roundtrip(delta_out)
+            tx = 1 if plan.tx_counts is None else plan.tx_counts[row]
+            uplink += compressed.nbytes * tx
             updates.append(
                 ClientUpdate(
                     client_id=update.client_id,
@@ -1098,17 +1491,44 @@ class FederatedEngine:
                     metrics=update.metrics,
                 )
             )
-        delta = self.aggregator.aggregate(updates)
-        self.global_model.set_flat_weights(self.global_model.get_flat_weights() + delta)
+        if plan.delivered_rows is None:
+            delivered = updates
+            participants = list(contributors)
+        else:
+            delivered = [updates[i] for i in plan.delivered_rows]
+            participants = [contributors[i] for i in plan.delivered_rows]
+        if delivered:
+            delta = self.aggregator.aggregate(delivered)
+            self.global_model.set_flat_weights(self.global_model.get_flat_weights() + delta)
+            train_loss = float(np.mean([u.local_loss for u in delivered]))
+            mean_local_accuracy = float(
+                np.mean([u.metrics.get("local_accuracy", 0.0) for u in delivered])
+            )
+        else:
+            train_loss = 0.0
+            mean_local_accuracy = 0.0
+        if not plan.trivial:
+            # The seed-era baseline never drained energy; fault/scenario
+            # runs mirror the batched path so fleet planes stay comparable
+            # across engines.
+            self._drain_training_energy(list(contributors) + stragglers)
         result = RoundResult(
             round_index=round_index,
-            participants=selected,
-            train_loss=float(np.mean([u.local_loss for u in updates])),
+            participants=participants,
+            train_loss=train_loss,
             global_accuracy=self._evaluate(),
             uplink_bytes=int(uplink),
-            downlink_bytes=int(self._model_bytes * len(selected)),
-            mean_local_accuracy=float(np.mean([u.metrics.get("local_accuracy", 0.0) for u in updates])),
+            downlink_bytes=int(downlink),
+            mean_local_accuracy=mean_local_accuracy,
             n_selected=len(selected),
+            n_dropouts=plan.n_dropouts,
+            n_stragglers=plan.n_stragglers,
+            n_byzantine=n_byzantine,
+            n_crashes=plan.n_crashes,
+            n_delivery_failures=plan.n_delivery_failures,
+            n_retransmits=plan.n_retransmits,
+            n_duplicates=plan.n_duplicates,
+            quorum_required=plan.quorum_required,
         )
         self.history.append(result)
         return result

@@ -354,6 +354,9 @@ class LifecyclePipeline:
         config: Optional[LifecycleConfig] = None,
         gates: Optional[Sequence[GateCheck]] = None,
         metric_probes: Optional[Mapping[str, Callable]] = None,
+        fault_injector=None,
+        quorum: Optional[float] = None,
+        retry_policy=None,
     ) -> None:
         self.platform = platform
         self.model_name = model_name
@@ -362,6 +365,13 @@ class LifecyclePipeline:
         self.config = config or LifecycleConfig()
         self.gates: List[GateCheck] = list(gates) if gates is not None else default_gates()
         self.metric_probes: Dict[str, Callable] = dict(metric_probes or {})
+        # repro.faults passthrough: retraining rounds run under this fault
+        # plan / quorum / retry policy (None keeps the plain engine).  An
+        # aborted retraining round is surfaced in the decision record's
+        # ``training`` dict so a degraded cycle is operator-visible.
+        self.fault_injector = fault_injector
+        self.quorum = quorum
+        self.retry_policy = retry_policy
         self.history: List[LifecycleDecision] = []
         self._drift_cursors: Dict[str, int] = {}
         self._ticks = 0
@@ -441,6 +451,9 @@ class LifecyclePipeline:
                 lr=self.config.lr,
                 eval_data=self.eval_data,
                 train_in_place=False,
+                fault_injector=self.fault_injector,
+                quorum=self.quorum,
+                retry_policy=self.retry_policy,
             )
             rounds = engine.run(self.config.rounds)
             candidate_model = engine.global_model
@@ -448,6 +461,19 @@ class LifecyclePipeline:
                 "rounds": len(rounds),
                 "final_accuracy": rounds[-1].global_accuracy if rounds else 0.0,
             }
+            aborted = [r for r in rounds if r.aborted]
+            degraded = {
+                "aborted_rounds": len(aborted),
+                "abort_reasons": [r.abort_reason for r in aborted],
+                "n_crashes": sum(r.n_crashes for r in rounds),
+                "n_delivery_failures": sum(r.n_delivery_failures for r in rounds),
+                "n_retransmits": sum(r.n_retransmits for r in rounds),
+                "shard_recoveries": sum(r.shard_recoveries for r in rounds),
+            }
+            if any(degraded[k] for k in degraded):
+                # Only a degraded run carries the block, so fault-free
+                # decision records keep their pre-fault-plane shape.
+                training["degraded"] = degraded
         else:
             training = {"rounds": 0, "injected": True}
 

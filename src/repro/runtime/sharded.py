@@ -70,9 +70,19 @@ If even the in-process re-execution raises (a genuinely poisoned shard),
 the exception propagates with the parent's ledgers, monitors and planes
 untouched (the ``shared`` backend restores its plane snapshot first).
 
-Test-only fault injection: set ``REPRO_SHARD_FAULT="<shard>:<mode>[:any]"``
-with mode ``raise`` / ``hang`` / ``exit``; without the ``:any`` scope the
-fault only fires inside pool workers, so in-process recovery succeeds.
+Fault injection comes in two spellings (both documented centrally in the
+:mod:`repro.faults` package docstring): the env hook
+``REPRO_SHARD_FAULT="<shard>:<mode>[:any]"`` with mode ``raise`` /
+``hang`` / ``exit`` (one-off debugging; without the ``:any`` scope the
+fault only fires inside pool workers, so in-process recovery succeeds),
+and the replayable plan-driven spelling — construct the runner with
+``fault_injector=`` and the :class:`~repro.faults.FaultPlan`'s
+``shard_faults`` events ship inside the task payloads, firing in the
+matching pooled dispatch's workers.  A ``retry_policy=`` additionally
+makes the retry passes wait out the policy's seeded exponential backoff
+(and caps the pass count / total deadline), the same
+:class:`~repro.faults.RetryPolicy` contract client delta delivery
+simulates.
 
 ``workers=`` resolution order: explicit argument, else the
 ``REPRO_TEST_WORKERS`` environment variable, else ``os.cpu_count()``.
@@ -125,8 +135,28 @@ def _env_workers() -> int:
         return 0
 
 
-def _maybe_inject_fault(shard_index: int, parent_pid: int) -> None:
-    """Honor the REPRO_SHARD_FAULT test hook (no-op when the env is unset)."""
+def _apply_fault_mode(mode: str, shard_index: int) -> None:
+    if mode == "raise":
+        raise RuntimeError(f"injected fault in shard {shard_index}")
+    if mode == "hang":
+        time.sleep(3600.0)
+        return
+    if mode == "exit":
+        os._exit(13)
+    raise ValueError(f"unknown shard fault mode {mode!r}")
+
+
+def _maybe_inject_fault(shard_index: int, parent_pid: int, fault: Optional[str] = None) -> None:
+    """Honor shard fault injection: the plan-driven ``fault`` payload field
+    first, then the REPRO_SHARD_FAULT env hook (no-op when both are unset).
+
+    Both spellings fire only inside pool workers (plan faults model
+    *worker* deaths — the deterministic in-process re-execution must
+    succeed, which is exactly what makes faulty runs byte-identical to
+    clean ones); the env hook's ``:any`` scope can opt out for tests.
+    """
+    if fault is not None and os.getpid() != parent_pid:
+        _apply_fault_mode(fault, shard_index)
     spec = os.environ.get(FAULT_ENV, "")
     if not spec:
         return
@@ -136,15 +166,7 @@ def _maybe_inject_fault(shard_index: int, parent_pid: int) -> None:
     scope = parts[2] if len(parts) > 2 else "worker"
     if scope == "worker" and os.getpid() == parent_pid:
         return  # only poison pool workers; in-process recovery succeeds
-    mode = parts[1]
-    if mode == "raise":
-        raise RuntimeError(f"injected fault in shard {shard_index}")
-    if mode == "hang":
-        time.sleep(3600.0)
-        return
-    if mode == "exit":
-        os._exit(13)
-    raise ValueError(f"unknown {FAULT_ENV} mode {mode!r}")
+    _apply_fault_mode(parts[1], shard_index)
 
 
 # ---------------------------------------------------------------------------
@@ -154,7 +176,7 @@ def _maybe_inject_fault(shard_index: int, parent_pid: int) -> None:
 
 def _serve_shard_task(payload: Dict[str, object]) -> Dict[str, object]:
     """One serving shard: run the batched fleet-window sweep on a sub-world."""
-    _maybe_inject_fault(payload["shard_index"], payload["parent_pid"])  # type: ignore[arg-type]
+    _maybe_inject_fault(payload["shard_index"], payload["parent_pid"], payload.get("fault"))  # type: ignore[arg-type]
     from repro.core.serving import FleetServeReport, ServingEngine
     from repro.devices.fleet import Fleet
 
@@ -192,7 +214,7 @@ def _serve_shard_task(payload: Dict[str, object]) -> Dict[str, object]:
 
 def _train_shard_task(payload: Dict[str, object]) -> Dict[str, object]:
     """One federated shard: a whole batched cohort trained in lock-step."""
-    _maybe_inject_fault(payload["shard_index"], payload["parent_pid"])  # type: ignore[arg-type]
+    _maybe_inject_fault(payload["shard_index"], payload["parent_pid"], payload.get("fault"))  # type: ignore[arg-type]
     from repro.federated.engine import train_clients_batched
 
     deltas, losses, accs = train_clients_batched(payload["model"], payload["clients"])
@@ -268,6 +290,17 @@ class ShardedFleetRunner:
     retries:
         How many fresh-pool retry passes failed shards get before the
         deterministic in-process fallback (0 goes straight to in-process).
+    retry_policy:
+        Optional :class:`repro.faults.RetryPolicy` governing shard
+        re-execution: its ``max_attempts`` overrides ``retries`` (total
+        pool passes), each retry pass waits out the policy's seeded
+        exponential backoff, and crossing its ``deadline_s`` sends the
+        remaining shards straight to the in-process fallback.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector`; each pooled
+        dispatch draws its plan-scheduled worker faults and ships them in
+        the task payloads (fires in pool workers only — recovery keeps
+        results byte-identical, so fault-plan runs merge the same bytes).
     """
 
     def __init__(
@@ -276,6 +309,8 @@ class ShardedFleetRunner:
         backend: str = "auto",
         timeout_s: float = 60.0,
         retries: int = 1,
+        retry_policy=None,
+        fault_injector=None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -283,6 +318,19 @@ class ShardedFleetRunner:
         self.backend = backend
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+
+    def _attach_faults(self, scope: str, payloads: Sequence[Dict[str, object]]) -> None:
+        """Stamp each payload with its plan-scheduled fault (or nothing)."""
+        inj = self.fault_injector
+        if inj is None:
+            return
+        dispatch = inj.next_dispatch(scope)
+        for payload in payloads:
+            fault = inj.shard_fault(scope, dispatch, payload["shard_index"])  # type: ignore[arg-type]
+            if fault is not None:
+                payload["fault"] = fault
 
     # -- resolution ------------------------------------------------------
     def resolve_workers(self, n_items: int) -> int:
@@ -338,10 +386,16 @@ class ShardedFleetRunner:
         ctx = self._mp_context()
         failed = list(range(n))
         recovered: List[int] = []
-        passes = 1 + max(0, self.retries)
+        policy = self.retry_policy
+        passes = policy.max_attempts if policy is not None else 1 + max(0, self.retries)
+        started = time.monotonic()
         for attempt in range(passes):
             if not failed:
                 break
+            if attempt > 0 and policy is not None:
+                if time.monotonic() - started > policy.deadline_s:
+                    break  # deadline budget spent: straight to in-process
+                time.sleep(policy.backoff_s(attempt - 1, seed=attempt - 1))
             pool = ctx.Pool(processes=min(self.resolve_workers(len(failed)), len(failed)))
             try:
                 handles = [(i, pool.apply_async(task_fn, (payloads[i],))) for i in failed]
@@ -458,6 +512,7 @@ class ShardedFleetRunner:
                 for i in failed:
                     shared.restore_rows(shard_rows[i])
 
+        self._attach_faults("serve", payloads)
         if mode == "shared":
             _SHARED_STATE = state  # inherited by the fork()ed pool workers
         try:
@@ -538,6 +593,7 @@ class ShardedFleetRunner:
                 }
                 for shard_index, positions in enumerate(batched_cohorts)
             ]
+            self._attach_faults("train", payloads)
             task_results, recovered = self._run_shards(payloads, _train_shard_task, pooled=pooled)
             for task_result in task_results:
                 positions = task_result["positions"]

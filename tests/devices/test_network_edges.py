@@ -1,0 +1,132 @@
+"""Boundary behavior of the network model: offline links, zero bandwidth,
+degenerate connectivity traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.network import (
+    ConnectivityTrace,
+    NetworkCondition,
+    NetworkType,
+    transfer_time_s,
+)
+
+# -- transfer_time / transfer_cost ----------------------------------------
+
+
+def test_offline_transfer_time_is_infinite():
+    cond = NetworkCondition.of(NetworkType.OFFLINE)
+    assert not cond.online
+    assert cond.transfer_time(1_000) == math.inf
+    assert transfer_time_s(0, cond) == math.inf
+
+
+def test_zero_bandwidth_link_is_offline_in_all_but_name():
+    cond = NetworkCondition(kind=NetworkType.WIFI, bandwidth_bps=0.0, cost_per_mb=1.0)
+    assert not cond.online
+    assert cond.transfer_time(1_000) == math.inf
+    assert cond.transfer_cost(1_000) == 0.0
+
+
+def test_negative_bandwidth_link_is_offline():
+    cond = NetworkCondition(kind=NetworkType.WIFI, bandwidth_bps=-5.0, cost_per_mb=1.0)
+    assert not cond.online
+    assert cond.transfer_time(1_000) == math.inf
+    assert cond.transfer_cost(1_000) == 0.0
+
+
+def test_offline_link_charges_nothing():
+    # A payload that never crosses the link accrues no metered bytes,
+    # even on a link type that nominally bills per MB.
+    cond = NetworkCondition(kind=NetworkType.OFFLINE, cost_per_mb=0.5, metered=True)
+    assert cond.transfer_cost(10_000_000) == 0.0
+
+
+def test_online_metered_link_charges_per_mb():
+    cond = NetworkCondition.of(NetworkType.CELLULAR)
+    assert cond.online and cond.metered
+    assert cond.transfer_cost(2_000_000) == pytest.approx(2.0 * cond.cost_per_mb)
+    assert cond.transfer_cost(0) == 0.0
+
+
+def test_online_transfer_time_is_latency_plus_serialization():
+    cond = NetworkCondition(kind=NetworkType.WIFI, bandwidth_bps=1e6, latency_s=0.5)
+    assert cond.transfer_time(125_000) == pytest.approx(0.5 + 1.0)
+
+
+def test_negative_payload_raises():
+    cond = NetworkCondition.of(NetworkType.WIFI)
+    with pytest.raises(ValueError):
+        cond.transfer_time(-1)
+    with pytest.raises(ValueError):
+        cond.transfer_cost(-1)
+    with pytest.raises(ValueError):
+        transfer_time_s(-1, NetworkCondition.of(NetworkType.OFFLINE))
+
+
+def test_unknown_network_type_raises():
+    with pytest.raises(KeyError):
+        NetworkCondition.of("carrier-pigeon")
+
+
+# -- ConnectivityTrace ----------------------------------------------------
+
+
+def test_trace_rejects_empty_states():
+    with pytest.raises(ValueError):
+        ConnectivityTrace(states=())
+
+
+def test_trace_rejects_unknown_state_names():
+    with pytest.raises(KeyError):
+        ConnectivityTrace(states=("wifi", "smoke-signal"))
+
+
+def test_trace_rejects_initial_outside_states():
+    with pytest.raises(ValueError):
+        ConnectivityTrace(states=("wifi", "cellular"), initial="offline")
+
+
+def test_trace_rejects_mismatched_transition_shape():
+    with pytest.raises(ValueError):
+        ConnectivityTrace(states=("wifi", "cellular"), transition=np.ones((3, 3)))
+
+
+def test_trace_rejects_zero_rows():
+    with pytest.raises(ValueError):
+        ConnectivityTrace(states=("wifi", "cellular"), transition=np.zeros((2, 2)))
+
+
+def test_single_state_trace_never_leaves_it():
+    trace = ConnectivityTrace(states=("wifi",), seed=3)
+    for cond in trace.sample(10):
+        assert cond.kind == NetworkType.WIFI and cond.online
+
+
+def test_trace_is_seed_deterministic():
+    a = ConnectivityTrace(seed=7)
+    b = ConnectivityTrace(seed=7)
+    assert [c.kind for c in a.sample(50)] == [c.kind for c in b.sample(50)]
+
+
+def test_trace_initial_state_is_respected():
+    trace = ConnectivityTrace(initial="wifi", seed=0)
+    assert trace.current.kind == NetworkType.WIFI
+
+
+def test_mid_trace_offline_windows_are_unusable_but_recoverable():
+    # Force a deterministic offline window: always hop to the next state.
+    transition = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+    trace = ConnectivityTrace(
+        states=(NetworkType.WIFI, NetworkType.OFFLINE, NetworkType.CELLULAR),
+        transition=transition,
+        initial=NetworkType.WIFI,
+        seed=0,
+    )
+    kinds = [c.kind for c in trace.sample(6)]
+    assert kinds == ["offline", "cellular", "wifi", "offline", "cellular", "wifi"]
+    offline = NetworkCondition.of(kinds[0])
+    assert offline.transfer_time(100) == math.inf and offline.transfer_cost(100) == 0.0
+    assert NetworkCondition.of(kinds[1]).online

@@ -1,0 +1,9 @@
+"""Shared path shim: reuse the deterministic world builders from the
+sharded-backend suites (tests/runtime/_sharded_worlds.py)."""
+
+import sys
+from pathlib import Path
+
+_RUNTIME = Path(__file__).resolve().parent.parent / "runtime"
+if str(_RUNTIME) not in sys.path:
+    sys.path.insert(0, str(_RUNTIME))

@@ -1,0 +1,75 @@
+"""Degradation telemetry must surface through the lifecycle loop."""
+
+import numpy as np
+
+from repro.core import PlatformConfig, TinyMLOpsPlatform
+from repro.data import make_gaussian_blobs, partition_dirichlet
+from repro.devices import Fleet
+from repro.faults import FaultInjector, FaultPlan, FaultRates
+from repro.lifecycle import LifecycleConfig
+from repro.nn import make_mlp
+
+
+def _world(seed=21, n_devices=8):
+    ds = make_gaussian_blobs(600, 12, 4, seed=seed)
+    train, test = ds.split(0.3, seed=seed)
+    fleet = Fleet.random(n_devices, seed=seed)
+    platform = TinyMLOpsPlatform(
+        fleet, PlatformConfig(bit_widths=(8,), sparsities=(0.5,), seed=seed)
+    )
+    model = make_mlp(12, 4, hidden=(16,), seed=0, name="wakeword")
+    model.fit(train.x, train.y, epochs=3, lr=0.01, seed=0)
+    platform.release(model, test.x, test.y)
+    platform.deploy("wakeword", prepaid_queries=2000)
+    clients = partition_dirichlet(train, 5, alpha=0.7, seed=seed)
+    return platform, test, clients
+
+
+def _pipeline(platform, test, clients, **kwargs):
+    return platform.lifecycle(
+        "wakeword",
+        clients,
+        (test.x, test.y),
+        config=LifecycleConfig(rounds=2, canary_windows=1, seed=21),
+        **kwargs,
+    )
+
+
+def test_fault_free_cycle_has_no_degraded_block():
+    platform, test, clients = _world()
+    decision = _pipeline(platform, test, clients).run_cycle(trigger={"kind": "manual"})
+    assert "degraded" not in decision.training
+
+
+def test_faulty_retraining_surfaces_degradation_telemetry():
+    platform, test, clients = _world()
+    client_ids = [c.client_id for c in clients]
+    plan = FaultPlan.generate(
+        3,
+        client_ids=client_ids,
+        n_rounds=2,
+        rates=FaultRates(device_crash=0.4, uplink_loss=0.4, uplink_duplicate=0.3),
+    )
+    assert not plan.is_empty
+    pipeline = _pipeline(platform, test, clients, fault_injector=FaultInjector(plan))
+    decision = pipeline.run_cycle(trigger={"kind": "manual"})
+    degraded = decision.training["degraded"]
+    assert (
+        degraded["n_crashes"] + degraded["n_delivery_failures"]
+        + degraded["n_retransmits"]
+    ) >= 1
+
+
+def test_quorum_abort_surfaces_in_the_decision_record():
+    platform, test, clients = _world()
+    client_ids = [c.client_id for c in clients]
+    down = ("lost",) * FaultRates().max_attempt_draws
+    # Round 0 is a full blackout; round 1 recovers.
+    plan = FaultPlan(seed=0, deliveries=tuple((0, cid, down) for cid in client_ids))
+    pipeline = _pipeline(
+        platform, test, clients, fault_injector=FaultInjector(plan), quorum=0.5
+    )
+    decision = pipeline.run_cycle(trigger={"kind": "manual"})
+    degraded = decision.training["degraded"]
+    assert degraded["aborted_rounds"] == 1
+    assert any("quorum not met" in reason for reason in degraded["abort_reasons"])
