@@ -132,6 +132,36 @@ class LedgerEntry:
             self.index, self.grant_id, self.model_name, self.timestamp, prev_mac, self.count
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form for durable segment persistence.
+
+        The round-trip is exact (``timestamp`` survives float64 JSON
+        encoding bit-for-bit), so a rehydrated entry MAC-verifies against
+        the same device key — :meth:`UsageLedger.append_segment` re-checks
+        every MAC on restore, making tampered persisted segments
+        unappendable."""
+        return {
+            "index": self.index,
+            "grant_id": self.grant_id,
+            "model_name": self.model_name,
+            "timestamp": self.timestamp,
+            "prev_mac": self.prev_mac,
+            "mac": self.mac,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LedgerEntry":
+        return cls(
+            index=int(payload["index"]),
+            grant_id=str(payload["grant_id"]),
+            model_name=str(payload["model_name"]),
+            timestamp=float(payload["timestamp"]),
+            prev_mac=str(payload["prev_mac"]),
+            mac=str(payload["mac"]),
+            count=int(payload.get("count", 1)),
+        )
+
 
 class UsageLedger:
     """On-device, append-only, HMAC-chained usage log with quota enforcement.

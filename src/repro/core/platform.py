@@ -296,6 +296,7 @@ class TinyMLOpsPlatform:
         train_in_place: bool = True,
         fault_injector=None,
         quorum: Optional[float] = None,
+        quorum_mode: str = "delivered",
         retry_policy=None,
         checkpoints=None,
     ) -> FederatedEngine:
@@ -307,8 +308,8 @@ class TinyMLOpsPlatform:
         (:meth:`FederatedEngine.for_candidate`) so a candidate that fails
         its canary gate never touched the serving incumbent.
 
-        ``fault_injector`` / ``quorum`` / ``retry_policy`` /
-        ``checkpoints`` pass straight through to
+        ``fault_injector`` / ``quorum`` / ``quorum_mode`` /
+        ``retry_policy`` / ``checkpoints`` pass straight through to
         :class:`~repro.federated.engine.FederatedEngine` — the
         :mod:`repro.faults` plane — so platform-driven retraining (and the
         lifecycle loop) can run under a seeded fault plan with
@@ -330,6 +331,7 @@ class TinyMLOpsPlatform:
             scenario=scenario,
             fault_injector=fault_injector,
             quorum=quorum,
+            quorum_mode=quorum_mode,
             retry_policy=retry_policy,
             checkpoints=checkpoints,
         )
@@ -458,7 +460,10 @@ class TinyMLOpsPlatform:
         metric_probes=None,
         fault_injector=None,
         quorum: Optional[float] = None,
+        quorum_mode: str = "delivered",
         retry_policy=None,
+        checkpoints=None,
+        state_dir: Optional[str] = None,
     ):
         """A :class:`repro.lifecycle.LifecyclePipeline` bound to this platform.
 
@@ -466,8 +471,12 @@ class TinyMLOpsPlatform:
         trigger federated retraining, the candidate canaries on a cloned
         fleet slice, and the gate promotes or rolls back.  Imported lazily
         to keep :mod:`repro.core` free of a hard lifecycle dependency.
-        ``fault_injector`` / ``quorum`` / ``retry_policy`` flow into the
-        retraining engine (:mod:`repro.faults`).
+        ``fault_injector`` / ``quorum`` / ``quorum_mode`` /
+        ``retry_policy`` / ``checkpoints`` flow into the retraining engine
+        (:mod:`repro.faults`); ``state_dir`` makes the pipeline *durable*
+        — decisions and promotion audits persist to disk and a pipeline
+        rebuilt over the same directory resumes its cycle counter and
+        history (:class:`repro.faults.durable.DurableDecisionLog`).
         """
         from repro.lifecycle import LifecyclePipeline
 
@@ -481,7 +490,10 @@ class TinyMLOpsPlatform:
             metric_probes=metric_probes,
             fault_injector=fault_injector,
             quorum=quorum,
+            quorum_mode=quorum_mode,
             retry_policy=retry_policy,
+            checkpoints=checkpoints,
+            state_dir=state_dir,
         )
 
     # ------------------------------------------------------------------

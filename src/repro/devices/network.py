@@ -10,6 +10,7 @@ offloading to an edge server is worthwhile (Sec. IV).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -149,3 +150,17 @@ class ConnectivityTrace:
     def sample(self, n_steps: int) -> List[NetworkCondition]:
         """Generate ``n_steps`` successive conditions."""
         return [self.step() for _ in range(n_steps)]
+
+    def state_dict(self) -> Dict[str, object]:
+        """Snapshot of the chain position + RNG stream (JSON-safe).
+
+        ``FaultInjector.reset()`` restores this so trace-driven serving
+        partitions replay identically across differential runs."""
+        return {
+            "state_idx": int(self._state_idx),
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._state_idx = int(state["state_idx"])  # type: ignore[arg-type]
+        self._rng.bit_generator.state = copy.deepcopy(state["rng_state"])

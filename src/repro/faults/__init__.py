@@ -37,7 +37,36 @@ kind                   effect
 ``round_interrupt``    the coordinator crashes between cohort sweeps; a
                        :class:`RoundCheckpoint` resumes the round
                        byte-identically
+``trace partition``    a device's Markov :class:`ConnectivityTrace` chain
+                       lands offline for a serving window; unioned with
+                       the plan's flat ``partition`` table (pass
+                       ``connectivity={device_id: trace}`` to
+                       :class:`FaultInjector`; the injector snapshots and
+                       rewinds the chains so replays stay deterministic)
+``quorum shortfall``   not a new event — a *counting mode*:
+                       ``FederatedEngine(quorum_mode="verified")`` counts
+                       only deliveries that are non-byzantine and arrived
+                       with zero corrupt attempts toward the quorum, so a
+                       round a byzantine cohort would have carried aborts
+                       instead (weights stay byte-untouched; the default
+                       ``"delivered"`` mode preserves prior behaviour)
 =====================  ====================================================
+
+Crash recovery
+--------------
+
+In-memory :class:`CheckpointStore` survives an *exception*;
+:class:`~repro.faults.durable.DurableCheckpointStore` (and
+:class:`~repro.faults.durable.DurableDecisionLog`) survive a *process
+death*: every checkpoint, commit record, fault plan, ledger segment and
+lifecycle decision is persisted with write-to-temp → fsync → atomic
+rename under a self-digested manifest, and every load re-verifies both
+the file digest and the recomputed content digest — a half-written or
+tampered file surfaces as a typed
+:class:`~repro.faults.durable.CheckpointCorrupted`, never as silently
+wrong state.  ``tests/faults/test_crash_recovery.py`` SIGKILLs a real
+child process mid-round and asserts a fresh process resumes to
+bit-identical weights, results and ledger MACs.
 
 Adding a fault kind
 -------------------
@@ -79,9 +108,16 @@ Environment variables (the one place they are documented)
     Default worker count for sharded runners built without an explicit
     ``workers=`` (documented in ``repro.runtime.sharded``; listed here
     because the chaos suite composes with it).
+``REPRO_CHAOS_STATE_DIR``
+    Root directory for the crash-recovery suite's durable state dirs
+    (``tests/faults/test_crash_recovery.py``).  Each test run creates a
+    unique subdirectory under it; unset, pytest's ``tmp_path`` is used.
+    CI's crash-recovery leg points it at a ``mktemp -d`` scratch dir so
+    the persisted state survives for post-mortem upload on failure.
 """
 
 from .checkpoint import CheckpointStore, RoundCheckpoint, RoundInterrupted
+from .durable import CheckpointCorrupted, DurableCheckpointStore, DurableDecisionLog
 from .injector import DeliveryResult, FaultInjector, RetryPolicy, simulate_delivery
 from .plan import FaultKind, FaultPlan, FaultRates
 
@@ -96,4 +132,7 @@ __all__ = [
     "RoundCheckpoint",
     "CheckpointStore",
     "RoundInterrupted",
+    "CheckpointCorrupted",
+    "DurableCheckpointStore",
+    "DurableDecisionLog",
 ]

@@ -117,6 +117,7 @@ class CheckpointStore:
     def __init__(self) -> None:
         self._objects: Dict[str, RoundCheckpoint] = {}
         self._latest: Dict[Tuple[int, str], str] = {}
+        self._commits: Dict[int, Dict[str, object]] = {}
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -140,3 +141,32 @@ class CheckpointStore:
         """Drop resume pointers for a committed round (archive stays)."""
         for key in [k for k in self._latest if k[0] == int(round_index)]:
             del self._latest[key]
+
+    # -- committed rounds -------------------------------------------------
+    def record_commit(
+        self,
+        round_index: int,
+        weights: np.ndarray,
+        result: Dict[str, object],
+        scheduler_state: Optional[dict] = None,
+    ) -> None:
+        """Snapshot a *committed* round: post-commit weights, the round's
+        result dict and the post-round scheduler RNG stream.
+
+        In-flight checkpoints cover a crash *inside* a round; commit
+        records are the between-rounds anchor a fresh process restores
+        before replaying later rounds (``repro.faults.durable`` persists
+        them to disk — the in-memory form keeps both implementations
+        behaviourally interchangeable)."""
+        self._commits[int(round_index)] = {
+            "round_index": int(round_index),
+            "weights": np.asarray(weights, dtype=np.float64).copy(),
+            "result": copy.deepcopy(dict(result)),
+            "scheduler_state": copy.deepcopy(scheduler_state),
+        }
+
+    def latest_commit(self) -> Optional[Dict[str, object]]:
+        """The highest committed round's record (a copy), or None."""
+        if not self._commits:
+            return None
+        return copy.deepcopy(self._commits[max(self._commits)])

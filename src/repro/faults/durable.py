@@ -1,0 +1,570 @@
+"""Disk-backed crash-recovery plane: durable checkpoints, plans, ledgers, decisions.
+
+PR 9 made federated rounds transactional, but every durability primitive
+lived in process memory — a coordinator that actually dies (SIGKILL,
+OOM, node loss) lost all of it.  This module persists the fault plane's
+state to a run directory so a *fresh process* resumes byte-identically:
+
+``DurableCheckpointStore``
+    The :class:`~repro.faults.checkpoint.CheckpointStore` interface
+    (``put`` / ``get`` / ``latest_for`` / ``clear_round``) backed by a
+    manifest + content-addressed payload files, plus committed-round
+    records (:meth:`~DurableCheckpointStore.record_commit` /
+    :meth:`~DurableCheckpointStore.latest_commit`), fault plans, exported
+    :class:`~repro.billing.metering.UsageLedger` segments, and a
+    merge-intent WAL for the sharded runner's barrier merge.
+
+``DurableDecisionLog``
+    An append-only, digest-verified log of lifecycle decision records
+    (including promotion audit maps) that
+    :class:`~repro.lifecycle.LifecyclePipeline` replays on restart.
+
+Write protocol (see :mod:`repro.persist`): every payload file commits
+via write-to-temp → fsync → atomic-rename, then the manifest — itself
+carrying a self-digest — is atomically replaced to reference it.  A
+crash between the two leaves an *orphan* payload file that no manifest
+entry references: invisible to every reader, never resumed.  A crash
+mid-payload-write leaves only a ``*.tmp-*`` file, equally invisible.
+Every read verifies the manifest's recorded size + sha256 digest before
+parsing a single byte; checkpoints additionally recompute their content
+digest after parsing.  Any mismatch — truncation, bit flip, a manifest
+referencing a deleted file, a tampered manifest — raises
+:class:`CheckpointCorrupted` with the offending path and digests.  No
+code path loads unverified bytes.
+
+Persisting a new record kind
+----------------------------
+The store is generic below the checkpoint/commit layer; adding a record
+kind is three lines, no schema migration:
+
+1. Pick a kind slug (``"my-kind"``) and a JSON-safe payload dict.
+2. Write with ``store.put_record("my-kind", name, payload)`` — the
+   payload file and manifest entry commit atomically, stamped with a
+   monotonic sequence number.
+3. Read back with ``store.get_record("my-kind", name)`` (digest
+   verified) or iterate ``store.record_names("my-kind")`` in write
+   order.  That is exactly how fault plans (``put_plan``), ledger
+   segments (``put_ledger_segments``) and merge intents
+   (``begin_merge``) are built; read their few-line implementations as
+   worked examples.
+
+For two-phase records (visible only after a second commit), write with
+``committed=False`` and flip it later — ``begin_merge`` /
+``commit_merge`` do this so a crash *during* a sharded barrier merge
+leaves an uncommitted intent that readers skip: the disk never holds a
+partial merge.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.persist import (
+    IntegrityError,
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_json,
+    read_bytes_verified,
+    read_json_verified,
+    sha256_bytes,
+)
+
+from .checkpoint import CheckpointStore, RoundCheckpoint
+from .plan import FaultPlan
+
+__all__ = ["CheckpointCorrupted", "DurableCheckpointStore", "DurableDecisionLog"]
+
+_MANIFEST_NAME = "MANIFEST.json"
+_FORMAT = 1
+
+
+class CheckpointCorrupted(IntegrityError):
+    """A persisted fault-plane artifact failed verification.
+
+    Raised — never silently skipped — whenever resuming would require
+    trusting bytes that do not match their recorded digest: a truncated
+    or bit-flipped payload, a manifest entry whose file is gone (stale
+    manifest), a tampered manifest, or an explicit resume against a
+    mismatched model digest.  Inherits ``path`` / ``expected`` /
+    ``actual`` from :class:`repro.persist.IntegrityError`.
+    """
+
+
+def _corrupt(exc: IntegrityError) -> CheckpointCorrupted:
+    """Re-type a persistence-layer integrity failure as CheckpointCorrupted."""
+    err = CheckpointCorrupted(exc.path, exc.reason, expected=exc.expected, actual=exc.actual)
+    err.__cause__ = exc
+    return err
+
+
+# ---------------------------------------------------------------------------
+# checkpoint (de)serialization
+# ---------------------------------------------------------------------------
+
+def _checkpoint_to_bytes(ckpt: RoundCheckpoint) -> bytes:
+    """One npz container: canonical JSON metadata + raw cohort arrays."""
+    meta = {
+        "round_index": ckpt.round_index,
+        "model_digest": ckpt.model_digest,
+        "selected": list(ckpt.selected),
+        "contributors": list(ckpt.contributors),
+        "stragglers": list(ckpt.stragglers),
+        "counts": {k: int(v) for k, v in sorted(ckpt.counts.items())},
+        "delivered_rows": None if ckpt.delivered_rows is None else list(ckpt.delivered_rows),
+        "tx_counts": None if ckpt.tx_counts is None else list(ckpt.tx_counts),
+        "scheduler_state": ckpt.scheduler_state,
+        "cohort_positions": sorted(int(p) for p in ckpt.cohorts),
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "meta": np.frombuffer(canonical_json(meta), dtype=np.uint8)
+    }
+    for position in sorted(ckpt.cohorts):
+        payload = ckpt.cohorts[position]
+        for key in ("indices", "deltas", "losses", "accs"):
+            arrays[f"c{position}_{key}"] = np.ascontiguousarray(payload[key])
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+def _checkpoint_from_bytes(data: bytes, path: str) -> RoundCheckpoint:
+    try:
+        with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+            ckpt = RoundCheckpoint(
+                round_index=int(meta["round_index"]),
+                model_digest=str(meta["model_digest"]),
+                selected=tuple(meta["selected"]),
+                contributors=tuple(meta["contributors"]),
+                stragglers=tuple(meta["stragglers"]),
+                counts={k: int(v) for k, v in meta["counts"].items()},
+                delivered_rows=None
+                if meta["delivered_rows"] is None
+                else tuple(int(r) for r in meta["delivered_rows"]),
+                tx_counts=None
+                if meta["tx_counts"] is None
+                else tuple(int(t) for t in meta["tx_counts"]),
+                scheduler_state=meta["scheduler_state"],
+            )
+            for position in meta["cohort_positions"]:
+                ckpt.record_cohort(
+                    int(position),
+                    archive[f"c{position}_indices"],
+                    archive[f"c{position}_deltas"],
+                    archive[f"c{position}_losses"],
+                    archive[f"c{position}_accs"],
+                )
+    except (KeyError, ValueError, OSError, json.JSONDecodeError) as exc:
+        raise CheckpointCorrupted(path, f"checkpoint payload unparseable ({exc})") from exc
+    return ckpt
+
+
+# ---------------------------------------------------------------------------
+# the manifest-backed store
+# ---------------------------------------------------------------------------
+
+class DurableCheckpointStore(CheckpointStore):
+    """A :class:`CheckpointStore` whose state survives process death.
+
+    Layout under ``root``::
+
+        MANIFEST.json            self-digested index of everything below
+        objects/<digest>.npz     content-addressed RoundCheckpoint payloads
+        commits/round-<n>.npz    committed-round records (weights + result)
+        records/<kind>/<seq>.json  generic JSON records (plans, ledger
+                                   segments, merge intents, ...)
+
+    Construction on an existing directory replays the manifest; a fresh
+    process sees exactly the committed state of the dead one.  The
+    in-memory :class:`CheckpointStore` API contract holds (``latest_for``
+    returns ``None`` for an unknown ``(round, model_digest)`` key, the
+    archive outlives ``clear_round``), with one addition: any access
+    that *would* return persisted bytes failing verification raises
+    :class:`CheckpointCorrupted` instead of resuming partially.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._manifest_path = os.path.join(self.root, _MANIFEST_NAME)
+        self._manifest = self._load_manifest()
+
+    # -- manifest ---------------------------------------------------------
+    def _empty_manifest(self) -> Dict[str, object]:
+        return {
+            "format": _FORMAT,
+            "seq": 0,
+            "checkpoints": {},
+            "latest": {},
+            "commits": {},
+            "records": {},
+        }
+
+    def _load_manifest(self) -> Dict[str, object]:
+        if not os.path.exists(self._manifest_path):
+            return self._empty_manifest()
+        try:
+            body = read_json_verified(self._manifest_path)
+        except IntegrityError as exc:
+            raise _corrupt(exc) from exc
+        if not isinstance(body, dict) or body.get("format") != _FORMAT:
+            raise CheckpointCorrupted(
+                self._manifest_path, "manifest format unrecognized",
+                expected=_FORMAT, actual=body.get("format") if isinstance(body, dict) else None,
+            )
+        recorded = body.pop("manifest_digest", None)
+        actual = sha256_bytes(canonical_json(body))
+        if recorded != actual:
+            raise CheckpointCorrupted(
+                self._manifest_path, "manifest self-digest mismatch",
+                expected=recorded, actual=actual,
+            )
+        return body
+
+    def _flush(self) -> None:
+        body = dict(self._manifest)
+        body.pop("manifest_digest", None)
+        body["manifest_digest"] = sha256_bytes(canonical_json(body))
+        atomic_write_json(self._manifest_path, body)
+
+    def _next_seq(self) -> int:
+        self._manifest["seq"] = int(self._manifest["seq"]) + 1
+        return int(self._manifest["seq"])
+
+    def _read_payload(self, entry: Mapping[str, object]) -> bytes:
+        path = os.path.join(self.root, str(entry["file"]))
+        try:
+            return read_bytes_verified(
+                path,
+                expected_digest=str(entry["file_digest"]),
+                expected_size=int(entry["size"]),
+            )
+        except IntegrityError as exc:
+            raise _corrupt(exc) from exc
+
+    def _write_payload(self, relpath: str, data: bytes) -> Dict[str, object]:
+        path = os.path.join(self.root, relpath)
+        digest = atomic_write_bytes(path, data)
+        return {"file": relpath, "file_digest": digest, "size": len(data)}
+
+    # -- CheckpointStore interface ---------------------------------------
+    def __len__(self) -> int:
+        return len(self._manifest["checkpoints"])
+
+    def put(self, checkpoint: RoundCheckpoint) -> str:
+        digest = checkpoint.digest()
+        checkpoints: Dict[str, dict] = self._manifest["checkpoints"]  # type: ignore[assignment]
+        if digest not in checkpoints:
+            entry = self._write_payload(
+                os.path.join("objects", f"{digest}.npz"),
+                _checkpoint_to_bytes(checkpoint),
+            )
+            entry.update(
+                round_index=int(checkpoint.round_index),
+                model_digest=checkpoint.model_digest,
+                seq=self._next_seq(),
+            )
+            checkpoints[digest] = entry
+        self._manifest["latest"][  # type: ignore[index]
+            f"{int(checkpoint.round_index)}:{checkpoint.model_digest}"
+        ] = digest
+        self._flush()
+        return digest
+
+    def get(self, digest: str) -> Optional[RoundCheckpoint]:
+        entry = self._manifest["checkpoints"].get(digest)  # type: ignore[union-attr]
+        if entry is None:
+            return None
+        ckpt = _checkpoint_from_bytes(
+            self._read_payload(entry), os.path.join(self.root, str(entry["file"]))
+        )
+        actual = ckpt.digest()
+        if actual != digest:
+            raise CheckpointCorrupted(
+                os.path.join(self.root, str(entry["file"])),
+                "checkpoint content digest mismatch",
+                expected=digest, actual=actual,
+            )
+        return ckpt
+
+    def latest_for(self, round_index: int, model_digest: str) -> Optional[RoundCheckpoint]:
+        digest = self._manifest["latest"].get(f"{int(round_index)}:{model_digest}")  # type: ignore[union-attr]
+        if digest is None:
+            return None
+        ckpt = self.get(digest)
+        if ckpt is None:
+            raise CheckpointCorrupted(
+                self._manifest_path, "latest pointer references an unknown checkpoint",
+                expected=digest, actual=None,
+            )
+        return ckpt
+
+    def resume_or_raise(self, round_index: int, model_digest: str) -> RoundCheckpoint:
+        """``latest_for`` that treats "no checkpoint for these weights" as an error.
+
+        ``latest_for`` stays ``None``-tolerant (the engine's opt-in resume
+        probe); harnesses that *know* a round was interrupted call this to
+        get a :class:`CheckpointCorrupted` naming the digest mismatch
+        instead of silently restarting the round.
+        """
+        found = self.latest_for(round_index, model_digest)
+        if found is not None:
+            return found
+        stored = sorted(
+            key.split(":", 1)[1]
+            for key in self._manifest["latest"]  # type: ignore[union-attr]
+            if key.split(":", 1)[0] == str(int(round_index))
+        )
+        raise CheckpointCorrupted(
+            self._manifest_path,
+            f"no checkpoint for round {int(round_index)} under the current model digest",
+            expected=model_digest,
+            actual=stored or None,
+        )
+
+    def clear_round(self, round_index: int) -> None:
+        latest: Dict[str, str] = self._manifest["latest"]  # type: ignore[assignment]
+        stale = [k for k in latest if k.split(":", 1)[0] == str(int(round_index))]
+        for key in stale:
+            del latest[key]
+        if stale:
+            self._flush()
+
+    # -- committed rounds -------------------------------------------------
+    def record_commit(
+        self,
+        round_index: int,
+        weights: np.ndarray,
+        result: Mapping[str, object],
+        scheduler_state: Optional[dict] = None,
+    ) -> None:
+        meta = {
+            "round_index": int(round_index),
+            "result": dict(result),
+            "scheduler_state": scheduler_state,
+        }
+        buf = io.BytesIO()
+        np.savez(
+            buf,
+            meta=np.frombuffer(canonical_json(meta), dtype=np.uint8),
+            weights=np.ascontiguousarray(np.asarray(weights, dtype=np.float64)),
+        )
+        entry = self._write_payload(
+            os.path.join("commits", f"round-{int(round_index):06d}.npz"), buf.getvalue()
+        )
+        entry["seq"] = self._next_seq()
+        self._manifest["commits"][str(int(round_index))] = entry  # type: ignore[index]
+        self._flush()
+
+    def _load_commit(self, key: str) -> Dict[str, object]:
+        entry = self._manifest["commits"][key]  # type: ignore[index]
+        path = os.path.join(self.root, str(entry["file"]))
+        data = self._read_payload(entry)
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+                meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+                weights = np.array(archive["weights"], dtype=np.float64)
+        except (KeyError, ValueError, OSError, json.JSONDecodeError) as exc:
+            raise CheckpointCorrupted(path, f"commit record unparseable ({exc})") from exc
+        return {
+            "round_index": int(meta["round_index"]),
+            "weights": weights,
+            "result": meta["result"],
+            "scheduler_state": meta["scheduler_state"],
+        }
+
+    def latest_commit(self) -> Optional[Dict[str, object]]:
+        commits: Dict[str, dict] = self._manifest["commits"]  # type: ignore[assignment]
+        if not commits:
+            return None
+        return self._load_commit(max(commits, key=int))
+
+    def commits(self) -> List[Dict[str, object]]:
+        """Every committed-round record in round order (all verified)."""
+        keys = sorted(self._manifest["commits"], key=int)  # type: ignore[arg-type]
+        return [self._load_commit(k) for k in keys]
+
+    # -- generic records --------------------------------------------------
+    def put_record(
+        self, kind: str, name: str, payload: Mapping[str, object], committed: bool = True
+    ) -> str:
+        """Persist one JSON record atomically; returns its content digest.
+
+        See the module docstring's "persisting a new record kind" recipe.
+        """
+        seq = self._next_seq()
+        entry = self._write_payload(
+            os.path.join("records", kind, f"{seq:06d}.json"),
+            canonical_json(dict(payload)),
+        )
+        entry.update(seq=seq, committed=bool(committed))
+        self._manifest["records"][f"{kind}/{name}"] = entry  # type: ignore[index]
+        self._flush()
+        return str(entry["file_digest"])
+
+    def get_record(self, kind: str, name: str) -> Optional[Dict[str, object]]:
+        entry = self._manifest["records"].get(f"{kind}/{name}")  # type: ignore[union-attr]
+        if entry is None:
+            return None
+        return json.loads(self._read_payload(entry).decode())
+
+    def record_names(self, kind: str, committed_only: bool = True) -> List[str]:
+        """Names of a kind's records in write (sequence) order."""
+        prefix = f"{kind}/"
+        entries: Dict[str, dict] = self._manifest["records"]  # type: ignore[assignment]
+        names = [
+            (int(e["seq"]), key[len(prefix):])
+            for key, e in entries.items()
+            if key.startswith(prefix) and (not committed_only or e.get("committed", True))
+        ]
+        return [name for _, name in sorted(names)]
+
+    # -- fault plans ------------------------------------------------------
+    def put_plan(self, plan: FaultPlan) -> str:
+        digest = plan.digest()
+        self.put_record("fault-plan", digest, {"digest": digest, "plan": json.loads(plan.to_json())})
+        return digest
+
+    def load_plan(self, digest: Optional[str] = None) -> Optional[FaultPlan]:
+        """The plan with ``digest`` (or the latest persisted one), re-verified."""
+        if digest is None:
+            names = self.record_names("fault-plan")
+            if not names:
+                return None
+            digest = names[-1]
+        record = self.get_record("fault-plan", digest)
+        if record is None:
+            return None
+        plan = FaultPlan.from_json(json.dumps(record["plan"]))
+        actual = plan.digest()
+        if actual != digest:
+            raise CheckpointCorrupted(
+                self._manifest_path, "fault plan content digest mismatch",
+                expected=digest, actual=actual,
+            )
+        return plan
+
+    # -- ledger segments --------------------------------------------------
+    def put_ledger_segments(self, label: str, segments: Mapping[str, Sequence]) -> str:
+        """Persist exported :class:`UsageLedger` segments under one label.
+
+        ``segments`` maps device id → the entries of
+        ``ledger.export_segment(start)``.  Restoring replays them through
+        ``append_segment``, which re-verifies every MAC against the
+        device key — a tampered persisted segment can never re-enter a
+        chain.
+        """
+        payload = {
+            "label": str(label),
+            "segments": {
+                device_id: [entry.to_dict() for entry in entries]
+                for device_id, entries in segments.items()
+            },
+        }
+        return self.put_record("ledger-segment", str(label), payload)
+
+    def iter_ledger_segments(self) -> List[Tuple[str, Dict[str, list]]]:
+        """All persisted segments in write order, entries rehydrated."""
+        from repro.billing.metering import LedgerEntry
+
+        out: List[Tuple[str, Dict[str, list]]] = []
+        for name in self.record_names("ledger-segment"):
+            record = self.get_record("ledger-segment", name)
+            if record is None:  # pragma: no cover - names come from the manifest
+                continue
+            out.append(
+                (
+                    str(record["label"]),
+                    {
+                        device_id: [LedgerEntry.from_dict(e) for e in entries]
+                        for device_id, entries in record["segments"].items()
+                    },
+                )
+            )
+        return out
+
+    # -- merge-intent WAL -------------------------------------------------
+    def begin_merge(self, scope: str, payload: Mapping[str, object]) -> str:
+        """Persist a pre-merge snapshot; returns the intent token.
+
+        The sharded runner writes this *before* its barrier merge touches
+        the parent world.  Until :meth:`commit_merge` flips the entry,
+        every reader (``pending_merges`` aside) skips it — a crash during
+        the merge leaves the disk with no partial merge, only an
+        uncommitted intent to inspect or discard.
+        """
+        token = f"{scope}-{self._next_seq():06d}"
+        self.put_record("merge-intent", token, {"scope": scope, **dict(payload)}, committed=False)
+        return token
+
+    def commit_merge(self, token: str) -> None:
+        entry = self._manifest["records"].get(f"merge-intent/{token}")  # type: ignore[union-attr]
+        if entry is None:
+            raise KeyError(f"unknown merge intent {token!r}")
+        entry["committed"] = True
+        self._flush()
+
+    def pending_merges(self) -> List[Dict[str, object]]:
+        """Uncommitted merge intents (interrupted merges), oldest first."""
+        out = []
+        for name in self.record_names("merge-intent", committed_only=False):
+            entry = self._manifest["records"][f"merge-intent/{name}"]  # type: ignore[index]
+            if not entry.get("committed", True):
+                record = self.get_record("merge-intent", name)
+                out.append({"token": name, **(record or {})})
+        return out
+
+    def discard_pending_merges(self) -> int:
+        """Drop uncommitted intents (the crash recovery path); returns count."""
+        records: Dict[str, dict] = self._manifest["records"]  # type: ignore[assignment]
+        stale = [
+            key for key, e in records.items()
+            if key.startswith("merge-intent/") and not e.get("committed", True)
+        ]
+        for key in stale:
+            del records[key]
+        if stale:
+            self._flush()
+        return len(stale)
+
+
+# ---------------------------------------------------------------------------
+# lifecycle decision log
+# ---------------------------------------------------------------------------
+
+class DurableDecisionLog:
+    """Append-only, digest-verified log of lifecycle decision records.
+
+    Each appended payload (a ``LifecycleDecision.as_dict()`` plus its
+    registry record digest and promotion audit map) becomes one
+    atomically-committed JSON file referenced by a self-digested
+    manifest; :meth:`load` replays them in append order, verifying every
+    digest, so a restarted :class:`~repro.lifecycle.LifecyclePipeline`
+    reconstructs its history and cycle counter exactly.
+    """
+
+    def __init__(self, root: str) -> None:
+        # Own subdirectory: a lifecycle run may share its state_dir with a
+        # DurableCheckpointStore, and each manifest assumes exclusive
+        # ownership of its directory.
+        self._store = DurableCheckpointStore(os.path.join(os.fspath(root), "decisions"))
+
+    def __len__(self) -> int:
+        return len(self._store.record_names("lifecycle-decision"))
+
+    def append(self, payload: Mapping[str, object]) -> str:
+        index = len(self)
+        return self._store.put_record(
+            "lifecycle-decision", f"{index:06d}", dict(payload)
+        )
+
+    def load(self) -> List[Dict[str, object]]:
+        return [
+            self._store.get_record("lifecycle-decision", name)
+            for name in self._store.record_names("lifecycle-decision")
+        ]

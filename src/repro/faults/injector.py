@@ -148,11 +148,29 @@ class FaultInjector:
     interrupts) advance exactly once per consumed event, so two runs
     issuing the same sequence of queries see the same faults.  Call
     :meth:`reset` before replaying a world from scratch.
+
+    ``connectivity`` optionally maps device id →
+    :class:`~repro.devices.network.ConnectivityTrace`: each
+    :meth:`filter_window` call steps every trace once (in sorted device
+    order) and partitions the devices whose chain landed offline, in
+    *union* with the plan's flat ``serve_offline`` table — offline
+    windows drawn from a Markov connectivity model instead of (or on top
+    of) flat rates.  Trace positions are snapshotted at construction and
+    rewound by :meth:`reset`, so trace-driven runs replay deterministically.
     """
 
-    def __init__(self, plan: FaultPlan, retry_policy: Optional[RetryPolicy] = None) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan,
+        retry_policy: Optional[RetryPolicy] = None,
+        connectivity: Optional[Dict[str, object]] = None,
+    ) -> None:
         self.plan = plan
         self.retry_policy = retry_policy or RetryPolicy()
+        self.connectivity = dict(connectivity or {})
+        self._trace_snapshots = {
+            device_id: trace.state_dict() for device_id, trace in self.connectivity.items()
+        }
         self._offline: Dict[int, Set[str]] = {}
         for window, device_id in plan.serve_offline:
             self._offline.setdefault(int(window), set()).add(device_id)
@@ -177,6 +195,8 @@ class FaultInjector:
         self._serve_window = 0
         self._dispatch: Dict[str, int] = {"serve": 0, "train": 0}
         self._fired_interrupts: Set[int] = set()
+        for device_id, trace in self.connectivity.items():
+            trace.load_state_dict(self._trace_snapshots[device_id])
 
     # -- serving ---------------------------------------------------------
     def filter_window(self, window: Dict[str, object]) -> Tuple[Dict[str, object], Dict[str, object]]:
@@ -188,8 +208,14 @@ class FaultInjector:
         before engine dispatch, so batched/oracle/sharded all see the
         identical filtered window).
         """
-        offline = self._offline.get(self._serve_window, ())
+        offline = set(self._offline.get(self._serve_window, ()))
         self._serve_window += 1
+        # Every trace advances exactly once per window — including devices
+        # absent from this window's payload — so chain positions stay
+        # aligned with the window counter regardless of traffic shape.
+        for device_id in sorted(self.connectivity):
+            if not self.connectivity[device_id].step().online:
+                offline.add(device_id)
         if not offline:
             return window, {}
         kept = {d: v for d, v in window.items() if d not in offline}

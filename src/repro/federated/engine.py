@@ -831,7 +831,14 @@ class _RoundPlan:
     n_retransmits: int = 0
     n_duplicates: int = 0
     n_delivery_failures: int = 0
+    # Delivered rows whose uplink showed >= 1 corrupt attempt before the
+    # clean copy arrived (suspect links; quorum_mode="verified" discounts
+    # them from the commit threshold).
+    corrupt_rows: Optional[List[int]] = None
     quorum_required: int = 0
+    # Deliveries counted toward the quorum threshold under the engine's
+    # quorum_mode (== n_delivered in legacy "delivered" mode).
+    quorum_counted: int = 0
     aborted: bool = False
     abort_reason: str = ""
     trivial: bool = True
@@ -868,6 +875,17 @@ class FederatedEngine:
         Optional commit fraction in ``(0, 1]``: a round merges iff at
         least ``ceil(quorum * n_selected)`` deltas are delivered,
         otherwise it aborts deterministically with zero side effects.
+    quorum_mode:
+        How deliveries count toward the quorum threshold.
+        ``"delivered"`` (default, today's behaviour) counts every
+        delivered delta.  ``"verified"`` counts only deliveries the
+        coordinator can vouch for: the client is not in
+        ``scenario.byzantine_ids`` and its uplink showed no corrupt
+        attempts (a link that corrupted payloads before the clean retry
+        is integrity-suspect).  Byzantine deltas still *aggregate* in
+        both modes — robust aggregation stays the aggregator's job — so
+        a verified-mode round that meets quorum commits byte-identically
+        to legacy mode; only the abort decision differs.
     retry_policy:
         The :class:`repro.faults.RetryPolicy` governing delta-delivery
         retries (defaults to ``RetryPolicy()`` when an injector is set).
@@ -894,6 +912,7 @@ class FederatedEngine:
         train_energy_factor: float = 3.0,
         fault_injector: Optional[FaultInjector] = None,
         quorum: Optional[float] = None,
+        quorum_mode: str = "delivered",
         retry_policy: Optional[RetryPolicy] = None,
         checkpoints: Optional[CheckpointStore] = None,
     ) -> None:
@@ -901,6 +920,10 @@ class FederatedEngine:
             raise ValueError("at least one client is required")
         if quorum is not None and not 0.0 < quorum <= 1.0:
             raise ValueError("quorum must be in (0, 1]")
+        if quorum_mode not in ("delivered", "verified"):
+            raise ValueError(
+                f'quorum_mode must be "delivered" or "verified", got {quorum_mode!r}'
+            )
         self.global_model = global_model
         self.clients: Dict[str, FederatedClient] = {c.client_id: c for c in clients}
         self.aggregator = aggregator or FedAvgAggregator()
@@ -913,6 +936,7 @@ class FederatedEngine:
         self.train_energy_factor = float(train_energy_factor)
         self.fault_injector = fault_injector
         self.quorum = None if quorum is None else float(quorum)
+        self.quorum_mode = quorum_mode
         self.retry_policy = retry_policy
         self.checkpoints = checkpoints
         self.history: List[RoundResult] = []
@@ -1102,6 +1126,7 @@ class FederatedEngine:
             policy = self.retry_policy or inj.retry_policy
             delivered_rows: List[int] = []
             tx_counts: List[int] = []
+            corrupt_rows: List[int] = []
             for row, cid in enumerate(plan.contributors):
                 outcomes = inj.delivery_outcomes(round_index, cid)
                 verdict = simulate_delivery(
@@ -1112,19 +1137,52 @@ class FederatedEngine:
                 plan.n_duplicates += verdict.duplicates
                 if verdict.delivered:
                     delivered_rows.append(row)
+                    if verdict.corrupt:
+                        corrupt_rows.append(row)
                 else:
                     plan.n_delivery_failures += 1
             plan.delivered_rows = delivered_rows
             plan.tx_counts = tx_counts
+            plan.corrupt_rows = corrupt_rows
         if self.quorum is not None:
             plan.quorum_required = int(math.ceil(self.quorum * len(selected)))
-            if plan.n_delivered < plan.quorum_required:
+            plan.quorum_counted = plan.n_delivered
+            if self.quorum_mode == "verified":
+                byzantine = self.scenario.byzantine_ids if self.scenario is not None else frozenset()
+                suspect = set(plan.corrupt_rows or ())
+                rows = range(len(plan.contributors)) if plan.delivered_rows is None else plan.delivered_rows
+                plan.quorum_counted = sum(
+                    1 for row in rows
+                    if row not in suspect and plan.contributors[row] not in byzantine
+                )
+            if plan.quorum_counted < plan.quorum_required:
                 plan.aborted = True
+                mode = "" if self.quorum_mode == "delivered" else " verified"
                 plan.abort_reason = (
-                    f"quorum not met: {plan.n_delivered}/{plan.quorum_required} "
-                    f"deliverable of {len(selected)} selected"
+                    f"quorum not met: {plan.quorum_counted}/{plan.quorum_required}"
+                    f"{mode} deliverable of {len(selected)} selected"
                 )
         return plan
+
+    def _finish_round(self, round_index: int, result: RoundResult) -> RoundResult:
+        """Commit a round's outcome: persist the commit record, drop the
+        round's resume pointers and append to ``history``.
+
+        The commit record (post-round weights + result dict + scheduler
+        RNG stream) is the *between-rounds* crash anchor: a fresh process
+        restores the latest commit, replays nothing before it and resumes
+        any in-flight checkpoint after it — see
+        :class:`repro.faults.durable.DurableCheckpointStore`."""
+        if self.checkpoints is not None:
+            self.checkpoints.record_commit(
+                round_index,
+                self.global_model.get_flat_weights(),
+                result.as_dict(),
+                self._scheduler_rng_state(),
+            )
+            self.checkpoints.clear_round(round_index)
+        self.history.append(result)
+        return result
 
     def _abort_result(self, round_index: int, plan: _RoundPlan) -> RoundResult:
         """A deterministic abort: the coordinator refuses to start a round
@@ -1142,12 +1200,11 @@ class FederatedEngine:
             n_retransmits=plan.n_retransmits,
             n_duplicates=plan.n_duplicates,
             quorum_required=plan.quorum_required,
-            quorum_shortfall=plan.quorum_required - plan.n_delivered,
+            quorum_shortfall=plan.quorum_required - plan.quorum_counted,
             aborted=True,
             abort_reason=plan.abort_reason,
         )
-        self.history.append(result)
-        return result
+        return self._finish_round(round_index, result)
 
     def _plan_from_checkpoint(self, ckpt: RoundCheckpoint) -> _RoundPlan:
         counts = ckpt.counts
@@ -1312,13 +1369,18 @@ class FederatedEngine:
             selected = list(resume.selected)
             plan = self._plan_from_checkpoint(resume)
             self._restore_scheduler_rng(resume.scheduler_state)
+            if self.fault_injector is not None:
+                # The checkpoint *is* the evidence the interrupt fired: a
+                # fresh process (whose injector never saw it fire) must
+                # mark it spent or resume would re-crash forever.
+                # In-process this is a no-op (already fired).
+                self.fault_injector.fire_interrupt(round_index)
         else:
             context = device_context if device_context is not None else self.fleet_context()
             selected = self.scheduler.select(list(self.clients), round_index, context=context)
             if not selected:
                 result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
-                self.history.append(result)
-                return result
+                return self._finish_round(round_index, result)
             plan = self._plan_round(round_index, selected)
 
         if plan.aborted:
@@ -1335,8 +1397,7 @@ class FederatedEngine:
                 n_stragglers=plan.n_stragglers, n_crashes=plan.n_crashes,
                 quorum_required=plan.quorum_required,
             )
-            self.history.append(result)
-            return result
+            return self._finish_round(round_index, result)
 
         checkpoint = resume
         if self.checkpoints is not None and checkpoint is None:
@@ -1393,8 +1454,6 @@ class FederatedEngine:
             train_loss = 0.0
             mean_local_accuracy = 0.0
         self._drain_training_energy(list(contributors) + stragglers)
-        if self.checkpoints is not None:
-            self.checkpoints.clear_round(round_index)
 
         result = RoundResult(
             round_index=round_index,
@@ -1415,8 +1474,7 @@ class FederatedEngine:
             n_duplicates=plan.n_duplicates,
             quorum_required=plan.quorum_required,
         )
-        self.history.append(result)
-        return result
+        return self._finish_round(round_index, result)
 
     def run_round_legacy(
         self, round_index: int, device_context: Optional[Dict[str, Dict[str, object]]] = None
@@ -1444,14 +1502,32 @@ class FederatedEngine:
         scenario, injector or quorum configured the loop is byte-for-byte
         the seed-era baseline (participants = selection, no energy
         drain), preserving every pre-fault-plane comparison.
+
+        With a checkpoint store the loop checkpoints at *client*
+        granularity (one single-row cohort per contributor, position =
+        contributor row): a fault-plan interrupt's ``after_cohorts``
+        therefore counts completed clients here, and a resumed round
+        restores finished clients' deltas and trains only the rest —
+        byte-identical to an uninterrupted oracle round, across process
+        boundaries too (``train_round`` reseeds per call, so replay is
+        exact).
         """
-        context = device_context if device_context is not None else self.fleet_context()
-        selected = self.scheduler.select(list(self.clients), round_index, context=context)
-        if not selected:
-            result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
-            self.history.append(result)
-            return result
-        plan = self._plan_round(round_index, selected)
+        resume = None
+        if self.checkpoints is not None:
+            resume = self.checkpoints.latest_for(round_index, self._weights_digest())
+        if resume is not None:
+            selected = list(resume.selected)
+            plan = self._plan_from_checkpoint(resume)
+            self._restore_scheduler_rng(resume.scheduler_state)
+            if self.fault_injector is not None:
+                self.fault_injector.fire_interrupt(round_index)
+        else:
+            context = device_context if device_context is not None else self.fleet_context()
+            selected = self.scheduler.select(list(self.clients), round_index, context=context)
+            if not selected:
+                result = RoundResult(round_index, [], 0.0, self._evaluate(), 0, 0)
+                return self._finish_round(round_index, result)
+            plan = self._plan_round(round_index, selected)
         if plan.aborted:
             return self._abort_result(round_index, plan)
         contributors, stragglers = plan.contributors, plan.stragglers
@@ -1464,17 +1540,61 @@ class FederatedEngine:
                 n_stragglers=plan.n_stragglers, n_crashes=plan.n_crashes,
                 quorum_required=plan.quorum_required,
             )
-            self.history.append(result)
-            return result
+            return self._finish_round(round_index, result)
+        checkpoint = resume
+        if self.checkpoints is not None and checkpoint is None:
+            checkpoint = self._checkpoint_for(round_index, plan)
+            self.checkpoints.put(checkpoint)
         sc = self.scenario
         byz_factor = 1.0
         if sc is not None and sc.byzantine_ids:
             byz_factor = -sc.byzantine_scale if sc.byzantine_mode == "flip" else sc.byzantine_scale
+        inj = self.fault_injector if checkpoint is not None else None
+        raw: List[ClientUpdate] = []
+        completed = 0
+        for row, cid in enumerate(contributors):
+            if checkpoint is not None and row in checkpoint.cohorts:
+                payload = checkpoint.cohorts[row]
+                client = self.clients[cid]
+                raw.append(
+                    ClientUpdate(
+                        client_id=cid,
+                        delta=payload["deltas"][0].copy(),
+                        n_samples=client.n_samples,
+                        local_loss=float(payload["losses"][0]),
+                        metrics={"local_accuracy": float(payload["accs"][0])}
+                        if client.n_samples > 0
+                        else {},
+                    )
+                )
+                completed += 1
+                continue
+            if inj is not None:
+                after = inj.interrupt_after(round_index)
+                if after is not None and completed >= after:
+                    inj.fire_interrupt(round_index)
+                    raise RoundInterrupted(round_index, self.checkpoints.put(checkpoint))
+            update = self.clients[cid].train_round(self.global_model)
+            raw.append(update)
+            completed += 1
+            if checkpoint is not None:
+                checkpoint.record_cohort(
+                    row,
+                    [row],
+                    update.delta[None, :],
+                    [update.local_loss],
+                    [update.metrics.get("local_accuracy", 0.0)],
+                )
+                self.checkpoints.put(checkpoint)
+        if inj is not None:
+            after = inj.interrupt_after(round_index)
+            if after is not None and completed >= after:
+                inj.fire_interrupt(round_index)
+                raise RoundInterrupted(round_index, self.checkpoints.put(checkpoint))
         updates: List[ClientUpdate] = []
         uplink = 0
         n_byzantine = 0
-        for row, cid in enumerate(contributors):
-            update = self.clients[cid].train_round(self.global_model)
+        for row, (cid, update) in enumerate(zip(contributors, raw)):
             delta_out = update.delta
             if byz_factor != 1.0 and cid in sc.byzantine_ids:
                 delta_out = delta_out * byz_factor
@@ -1530,8 +1650,7 @@ class FederatedEngine:
             n_duplicates=plan.n_duplicates,
             quorum_required=plan.quorum_required,
         )
-        self.history.append(result)
-        return result
+        return self._finish_round(round_index, result)
 
     def run(
         self,

@@ -264,9 +264,10 @@ class LifecycleDecision:
     training: Dict[str, object] = field(default_factory=dict)
     stale_variants_after: int = 0
     record_digest: str = ""
+    promotion: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload = {
             "cycle": self.cycle,
             "trigger": dict(self.trigger),
             "promoted": self.promoted,
@@ -280,6 +281,33 @@ class LifecycleDecision:
             "training": dict(self.training),
             "stale_variants_after": self.stale_variants_after,
         }
+        # Like ``training["degraded"]``: the key appears only when the
+        # cycle actually promoted, so rollback records keep their
+        # pre-durability shape (and digests).
+        if self.promotion:
+            payload["promotion"] = dict(self.promotion)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LifecycleDecision":
+        """Rebuild a decision from a persisted record (``as_dict`` plus an
+        optional ``record_digest`` key added by the durable log)."""
+        return cls(
+            cycle=int(payload["cycle"]),
+            trigger=dict(payload.get("trigger", {})),
+            promoted=bool(payload["promoted"]),
+            candidate_version=str(payload["candidate_version"]),
+            incumbent_version=str(payload["incumbent_version"]),
+            reasons=list(payload.get("reasons", [])),
+            candidate_metrics=dict(payload.get("candidate_metrics", {})),
+            incumbent_metrics=dict(payload.get("incumbent_metrics", {})),
+            derived_versions=list(payload.get("derived_versions", [])),
+            canary_devices=list(payload.get("canary_devices", [])),
+            training=dict(payload.get("training", {})),
+            stale_variants_after=int(payload.get("stale_variants_after", 0)),
+            record_digest=str(payload.get("record_digest", "")),
+            promotion=dict(payload.get("promotion", {})),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -356,7 +384,10 @@ class LifecyclePipeline:
         metric_probes: Optional[Mapping[str, Callable]] = None,
         fault_injector=None,
         quorum: Optional[float] = None,
+        quorum_mode: str = "delivered",
         retry_policy=None,
+        checkpoints=None,
+        state_dir: Optional[str] = None,
     ) -> None:
         self.platform = platform
         self.model_name = model_name
@@ -371,11 +402,27 @@ class LifecyclePipeline:
         # ``training`` dict so a degraded cycle is operator-visible.
         self.fault_injector = fault_injector
         self.quorum = quorum
+        self.quorum_mode = quorum_mode
         self.retry_policy = retry_policy
+        self.checkpoints = checkpoints
         self.history: List[LifecycleDecision] = []
         self._drift_cursors: Dict[str, int] = {}
         self._ticks = 0
         self._cycles = 0
+        # Durable decision log: with a ``state_dir`` every decision (and
+        # its promotion audit map) is atomically persisted, and a pipeline
+        # rebuilt over the same directory restarts with its history and
+        # cycle counter restored — registry state is rebuilt by the world
+        # setup; the *decisions* are what only this log remembers.
+        self._decision_log = None
+        if state_dir is not None:
+            from repro.faults.durable import DurableDecisionLog
+
+            self._decision_log = DurableDecisionLog(state_dir)
+            for payload in self._decision_log.load():
+                decision = LifecycleDecision.from_dict(payload)
+                self.history.append(decision)
+                self._cycles = max(self._cycles, decision.cycle + 1)
 
     # ------------------------------------------------------------------
     # triggers
@@ -453,7 +500,9 @@ class LifecyclePipeline:
                 train_in_place=False,
                 fault_injector=self.fault_injector,
                 quorum=self.quorum,
+                quorum_mode=self.quorum_mode,
                 retry_policy=self.retry_policy,
+                checkpoints=self.checkpoints,
             )
             rounds = engine.run(self.config.rounds)
             candidate_model = engine.global_model
@@ -502,9 +551,10 @@ class LifecyclePipeline:
         promoted = not reasons
 
         # 5. apply
+        promotion_audit: Dict[str, object] = {}
         if promoted:
             x_eval, y_eval = self.eval_data
-            platform.promote_model(
+            promotion_audit = platform.promote_model(
                 self.model_name, candidate_model, candidate_version.version_id, x_eval=x_eval, y_eval=y_eval
             )
         else:
@@ -524,6 +574,7 @@ class LifecyclePipeline:
             canary_devices=list(canary_ids),
             training=training,
             stale_variants_after=len(registry.stale_variants(self.model_name)),
+            promotion=promotion_audit or {},
         )
         record = registry.store.put_object(
             decision.as_dict(),
@@ -542,6 +593,8 @@ class LifecyclePipeline:
             reasons=reasons,
         )
         self.history.append(decision)
+        if self._decision_log is not None:
+            self._decision_log.append({**decision.as_dict(), "record_digest": record.digest})
         return decision
 
     # ------------------------------------------------------------------

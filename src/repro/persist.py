@@ -1,0 +1,184 @@
+"""Atomic, digest-verified file persistence primitives.
+
+The durability layer of the fault plane (:mod:`repro.faults.durable`)
+needs exactly three guarantees from the filesystem, and this module is
+the single place they are implemented:
+
+1. **Atomic commit** — :func:`atomic_write_bytes` writes to a temp file
+   in the destination directory, flushes, ``fsync``\\ s, then
+   ``os.replace``\\ s onto the final name and fsyncs the directory.  A
+   crash at any point leaves either the old file or the new file, never
+   a half-written one; stray ``*.tmp-*`` files are the only debris and
+   are ignored by every reader.
+2. **Verified read** — :func:`read_bytes_verified` refuses to hand back
+   bytes whose size or sha256 digest does not match what the caller
+   recorded at write time, raising :class:`IntegrityError` with the
+   offending path and digests.  No caller ever parses unverified bytes.
+3. **Canonical JSON** — :func:`canonical_json` produces the one byte
+   encoding of a JSON document (sorted keys, no whitespace, numpy
+   scalars unwrapped) so content digests are stable across processes.
+
+Everything here is stdlib + numpy only and safe to import from any
+layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "PersistError",
+    "IntegrityError",
+    "sha256_bytes",
+    "canonical_json",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "read_bytes_verified",
+    "read_json_verified",
+    "fsync_dir",
+]
+
+
+class PersistError(RuntimeError):
+    """Base error of the persistence layer."""
+
+
+class IntegrityError(PersistError):
+    """A persisted file is missing, truncated or fails digest verification.
+
+    Carries the offending ``path`` plus the ``expected``/``actual``
+    values (a size or a digest, per ``reason``) so callers can surface
+    exactly which artifact is damaged.
+    """
+
+    def __init__(self, path, reason: str, expected=None, actual=None) -> None:
+        self.path = str(path)
+        self.reason = reason
+        self.expected = expected
+        self.actual = actual
+        message = f"{reason}: {self.path}"
+        if expected is not None or actual is not None:
+            message += f" (expected {expected!r}, got {actual!r})"
+        super().__init__(message)
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex sha256 content digest of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _json_default(value):
+    """Unwrap numpy scalars/arrays so canonical JSON never depends on dtype."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+def canonical_json(obj) -> bytes:
+    """The canonical byte encoding of a JSON document (digest-stable)."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=_json_default
+    ).encode()
+
+
+def fsync_dir(path: str) -> None:
+    """Flush a directory's entry table (best effort; no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> str:
+    """Write ``data`` to ``path`` atomically; returns its sha256 digest.
+
+    Protocol: temp file in the same directory (so the rename cannot
+    cross filesystems) → write → flush+fsync → ``os.replace`` →
+    directory fsync.  On any failure the temp file is removed and the
+    destination is untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".tmp-"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(directory)
+    return sha256_bytes(data)
+
+
+def atomic_write_json(path: str, obj) -> str:
+    """Atomically write an object's canonical JSON; returns the file digest."""
+    return atomic_write_bytes(path, canonical_json(obj))
+
+
+def read_bytes_verified(
+    path: str,
+    expected_digest: Optional[str] = None,
+    expected_size: Optional[int] = None,
+) -> bytes:
+    """Read a file and verify its size/digest before returning any bytes.
+
+    Raises :class:`IntegrityError` on a missing file, a size mismatch
+    (truncation) or a digest mismatch (bit rot / tampering).  Size is
+    checked first so a truncated file is reported as truncated, not as
+    a generic digest failure.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        raise IntegrityError(path, "persisted file missing") from None
+    except OSError as exc:
+        raise IntegrityError(path, f"persisted file unreadable ({exc})") from exc
+    if expected_size is not None and len(data) != int(expected_size):
+        raise IntegrityError(
+            path, "persisted file truncated", expected=int(expected_size), actual=len(data)
+        )
+    if expected_digest is not None:
+        actual = sha256_bytes(data)
+        if actual != expected_digest:
+            raise IntegrityError(
+                path, "persisted file digest mismatch", expected=expected_digest, actual=actual
+            )
+    return data
+
+
+def read_json_verified(
+    path: str,
+    expected_digest: Optional[str] = None,
+    expected_size: Optional[int] = None,
+):
+    """Verified read + JSON parse (a parse failure is an integrity failure)."""
+    data = read_bytes_verified(path, expected_digest, expected_size)
+    try:
+        return json.loads(data.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IntegrityError(path, f"persisted JSON unparseable ({exc})") from exc

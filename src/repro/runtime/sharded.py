@@ -301,6 +301,13 @@ class ShardedFleetRunner:
         dispatch draws its plan-scheduled worker faults and ships them in
         the task payloads (fires in pool workers only — recovery keeps
         results byte-identical, so fault-plan runs merge the same bytes).
+    durable_store:
+        Optional :class:`repro.faults.durable.DurableCheckpointStore`; the
+        parent journals every serving barrier merge through it
+        (``begin_merge`` → merge → ``commit_merge``): the pre-merge ledger
+        segments are persisted *before* the parent world is touched, so a
+        crash mid-merge leaves an uncommitted journal record — detectable
+        via ``pending_merges()`` — never a silently half-merged world.
     """
 
     def __init__(
@@ -311,6 +318,7 @@ class ShardedFleetRunner:
         retries: int = 1,
         retry_policy=None,
         fault_injector=None,
+        durable_store=None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
@@ -320,6 +328,7 @@ class ShardedFleetRunner:
         self.retries = int(retries)
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
+        self.durable_store = durable_store
 
     def _attach_faults(self, scope: str, payloads: Sequence[Dict[str, object]]) -> None:
         """Stamp each payload with its plan-scheduled fault (or nothing)."""
@@ -534,6 +543,28 @@ class ShardedFleetRunner:
 
         # Barrier merge, in shard (= canonical window) order.  Nothing above
         # touched the parent world, so a raise before this point is clean.
+        # With a durable store the merge is journaled: the intent record
+        # (per-shard ledger segments, the auditable plane writes) is
+        # fsynced *before* the first parent-world mutation and committed
+        # after the last, so a crash mid-merge is detectable
+        # (``pending_merges()``) rather than a silently partial merge.
+        merge_token = None
+        if self.durable_store is not None:
+            merge_token = self.durable_store.begin_merge(
+                "serve",
+                {
+                    "model_name": model_name,
+                    "n_shards": len(task_results),
+                    "ledger_segments": [
+                        {
+                            device_id: [entry.to_dict() for entry in segment]
+                            for device_id, segment in task_result["ledger_segments"].items()
+                            if segment
+                        }
+                        for task_result in task_results
+                    ],
+                },
+            )
         for shard_index, task_result in enumerate(task_results):
             sub_state = task_result["state"]
             if sub_state is not None:
@@ -545,6 +576,8 @@ class ShardedFleetRunner:
                 engine.monitors[device_id] = monitor
             for result in task_result["results"]:  # type: ignore[union-attr]
                 report.add(result)
+        if merge_token is not None:
+            self.durable_store.commit_merge(merge_token)
         report.shard_recoveries += len(recovered)
 
     # -- federated -------------------------------------------------------

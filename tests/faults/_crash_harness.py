@@ -1,0 +1,193 @@
+"""Subprocess harness for the crash-recovery suite: run, die, resume.
+
+Invoked by ``tests/faults/test_crash_recovery.py`` as a child process::
+
+    python _crash_harness.py --seed 3 --engine batched --state-dir DIR \
+        --out OUT.json [--kill-after-puts K]
+
+Runs a chaos federated world for ``N_ROUNDS`` against a
+:class:`DurableCheckpointStore` in ``--state-dir``.  With
+``--kill-after-puts K`` the process SIGKILLs *itself* immediately after
+the K-th checkpoint hits the disk — a real process death, no exception
+unwinding, no atexit.  Re-invoking without the flag resumes from the
+persisted state: the latest commit record anchors the weights, scheduler
+RNG stream and finished rounds; an in-flight checkpoint resumes the
+interrupted round; persisted ledger segments replay through
+``append_segment`` (re-verifying every MAC).  On completion the harness
+writes a JSON fingerprint (weights bytes, per-round result dicts, ledger
+head MAC) that the parent byte-compares against an uninterrupted run.
+
+Also importable: the test computes reference fingerprints by calling
+:func:`run_world` in-process with ``state_dir=None``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "runtime"))
+
+from _sharded_worlds import federated_world  # noqa: E402
+
+from repro.billing import BillingBackend, PricingPlan, UsageLedger  # noqa: E402
+from repro.faults import (  # noqa: E402
+    DurableCheckpointStore,
+    FaultInjector,
+    FaultPlan,
+    FaultRates,
+    RoundInterrupted,
+)
+
+N_CLIENTS = 10
+N_ROUNDS = 3
+CHAOS_RATES = FaultRates(
+    partition=0.0,
+    device_crash=0.08,
+    uplink_loss=0.15,
+    uplink_corrupt=0.05,
+    uplink_duplicate=0.05,
+    worker_fault=0.0,
+    round_interrupt=0.5,
+)
+
+
+class _KillingStore(DurableCheckpointStore):
+    """SIGKILL the process right after the N-th checkpoint put commits.
+
+    The put has fully flushed (payload fsynced, manifest replaced) before
+    the signal, so the disk holds exactly a committed prefix of the run —
+    the honest model of a coordinator dying between (not during) writes;
+    torn writes are covered by the corruption suite.
+    """
+
+    def __init__(self, root, kill_after_puts):
+        super().__init__(root)
+        self._kill_after = int(kill_after_puts)
+        self._n_puts = 0
+
+    def put(self, checkpoint):
+        digest = super().put(checkpoint)
+        self._n_puts += 1
+        if self._n_puts >= self._kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return digest
+
+
+def _ledger(seed: int) -> UsageLedger:
+    """A deterministically-keyed metered device (same in every process)."""
+    billing = BillingBackend(master_key=b"crash-harness-master")
+    billing.register_plan(PricingPlan(model_name="m"))
+    key = billing.enroll_device("dev-0")
+    ledger = UsageLedger("dev-0", key)
+    ledger.add_grant(
+        billing.sell_package("dev-0", "m", 10_000), backend_key=billing.signing_key()
+    )
+    return ledger
+
+
+def run_world(seed: int, engine: str, state_dir=None, kill_after_puts=None):
+    """Run (or resume) the chaos world; return its output fingerprint."""
+    fed = federated_world(seed, N_CLIENTS)
+    if engine == "sharded":
+        from repro.runtime.sharded import ShardedFleetRunner
+
+        fed.shard_runner = ShardedFleetRunner(workers=2, backend="inline")
+
+    store = None
+    resumed_round = None
+    if state_dir is not None:
+        if kill_after_puts:
+            store = _KillingStore(state_dir, kill_after_puts)
+        else:
+            store = DurableCheckpointStore(state_dir)
+        fed.checkpoints = store
+
+    # The plan travels with the state dir: the resuming process replays
+    # the exact persisted plan (digest re-verified), not a regeneration.
+    plan = store.load_plan() if store is not None else None
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed + 1000,
+            client_ids=sorted(fed.clients),
+            n_rounds=N_ROUNDS,
+            rates=CHAOS_RATES,
+        )
+        if store is not None:
+            store.put_plan(plan)
+    fed.fault_injector = FaultInjector(plan)
+
+    ledger = _ledger(seed)
+    start_round = 0
+    if store is not None:
+        commit = store.latest_commit()
+        if commit is not None:
+            fed.global_model.set_flat_weights(commit["weights"])
+            fed._restore_scheduler_rng(commit["scheduler_state"])
+            start_round = int(commit["round_index"]) + 1
+            resumed_round = start_round
+        elif len(store):
+            resumed_round = 0
+        for _, segments in store.iter_ledger_segments():
+            for device_id, entries in segments.items():
+                assert device_id == "dev-0"
+                ledger.append_segment(entries)  # re-verifies every MAC
+
+    for r in range(start_round, N_ROUNDS):
+        while True:
+            try:
+                fed.run_round(r, engine=engine)
+                break
+            except RoundInterrupted:
+                # In-process coordinator interrupt: immediately resume.
+                continue
+        base = len(ledger.entries)
+        ledger.record_batch("m", 3 + r)
+        if store is not None:
+            store.put_ledger_segments(f"round-{r}", {"dev-0": ledger.export_segment(base)})
+
+    results = (
+        [c["result"] for c in store.commits()]
+        if store is not None
+        else [res.as_dict() for res in fed.history]
+    )
+    return {
+        "seed": seed,
+        "engine": engine,
+        "resumed_round": resumed_round,
+        "weights_hex": fed.global_model.get_flat_weights().tobytes().hex(),
+        "results": results,
+        "ledger_head_mac": ledger.head_mac(),
+        "ledger_used": ledger.used("m"),
+        "ledger_chain_ok": bool(ledger.verify_chain()),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--engine", required=True, choices=["batched", "oracle", "sharded"])
+    parser.add_argument("--state-dir", required=True)
+    parser.add_argument("--out", required=True)
+    parser.add_argument("--kill-after-puts", type=int, default=0)
+    args = parser.parse_args()
+    output = run_world(
+        args.seed,
+        args.engine,
+        state_dir=args.state_dir,
+        kill_after_puts=args.kill_after_puts or None,
+    )
+    # canonical_json handles any numpy scalars left in result dicts.
+    from repro.persist import canonical_json
+
+    with open(args.out, "wb") as fh:
+        fh.write(canonical_json(output))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""One behavioural contract, two stores: in-memory and durable.
+
+Every test here runs against both ``CheckpointStore()`` and a
+``DurableCheckpointStore`` on a fresh tmpdir — the durable plane's whole
+point is that the engine cannot tell the difference until the process
+dies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import CheckpointStore, DurableCheckpointStore, RoundCheckpoint
+
+
+@pytest.fixture(params=["memory", "durable"])
+def store_factory(request, tmp_path):
+    """A zero-arg factory; the durable flavour reuses one directory, so
+    calling it twice models a process restart over the same state dir."""
+    if request.param == "memory":
+        store = CheckpointStore()
+        return lambda: store
+    return lambda: DurableCheckpointStore(tmp_path / "state")
+
+
+def _ckpt(round_index=0, model_digest="m", value=1.0, positions=(0,)):
+    ckpt = RoundCheckpoint(
+        round_index=round_index,
+        model_digest=model_digest,
+        selected=("a", "b"),
+        contributors=("a", "b"),
+        stragglers=(),
+        counts={"n_dropouts": 0},
+    )
+    for pos in positions:
+        ckpt.record_cohort(pos, [pos], np.full((1, 3), value), np.ones(1), np.ones(1))
+    return ckpt
+
+
+class TestStoreContract:
+    def test_empty_store(self, store_factory):
+        store = store_factory()
+        assert len(store) == 0
+        assert store.latest_for(0, "m") is None
+        assert store.get("0" * 64) is None
+        assert store.latest_commit() is None
+        store.clear_round(0)  # clearing an empty round is a no-op, not an error
+
+    def test_put_get_round_trip(self, store_factory):
+        store = store_factory()
+        ckpt = _ckpt()
+        digest = store.put(ckpt)
+        restored = store.get(digest)
+        assert restored.digest() == digest
+        assert restored.n_cohorts_done == 1
+        np.testing.assert_array_equal(
+            restored.cohorts[0]["deltas"], ckpt.cohorts[0]["deltas"]
+        )
+
+    def test_put_is_idempotent_and_content_addressed(self, store_factory):
+        store = store_factory()
+        d1 = store.put(_ckpt(value=1.0))
+        d2 = store.put(_ckpt(value=1.0))
+        d3 = store.put(_ckpt(value=2.0))
+        assert d1 == d2 != d3
+        assert len(store) == 2
+
+    def test_multiple_checkpoints_per_round_latest_wins(self, store_factory):
+        store = store_factory()
+        store.put(_ckpt(positions=(0,)))
+        later = _ckpt(positions=(0, 1))
+        digest = store.put(later)
+        found = store.latest_for(0, "m")
+        assert found.digest() == digest
+        assert found.n_cohorts_done == 2
+
+    def test_latest_for_is_keyed_on_round_and_model(self, store_factory):
+        store = store_factory()
+        store.put(_ckpt(round_index=1, model_digest="m1"))
+        assert store.latest_for(1, "m2") is None
+        assert store.latest_for(2, "m1") is None
+        assert store.latest_for(1, "m1") is not None
+
+    def test_clear_round_drops_pointer_keeps_archive(self, store_factory):
+        store = store_factory()
+        digest = store.put(_ckpt(round_index=3))
+        store.clear_round(3)
+        assert store.latest_for(3, "m") is None
+        # Archive retention: the object itself outlives the pointer.
+        assert store.get(digest) is not None
+
+    def test_clear_then_resume_round_restarts_clean(self, store_factory):
+        store = store_factory()
+        store.put(_ckpt(round_index=0, positions=(0,)))
+        store.clear_round(0)
+        # A new attempt at the round sees no stale progress and re-puts.
+        assert store.latest_for(0, "m") is None
+        fresh = store.put(_ckpt(round_index=0, positions=()))
+        assert store.latest_for(0, "m").digest() == fresh
+
+    def test_snapshots_are_isolated_from_live_mutation(self, store_factory):
+        store = store_factory()
+        ckpt = _ckpt()
+        digest = store.put(ckpt)
+        ckpt.record_cohort(5, [5], np.zeros((1, 3)), np.zeros(1), np.zeros(1))
+        assert store.get(digest).n_cohorts_done == 1
+
+    def test_commit_records_round_trip(self, store_factory):
+        store = store_factory()
+        weights = np.linspace(-1.0, 1.0, 7)
+        result = {"round_index": 2, "global_accuracy": 0.5, "participants": ["a"]}
+        sched = {"bit_generator": "PCG64", "state": {"state": 123, "inc": 5}}
+        store.record_commit(2, weights, result, sched)
+        commit = store.latest_commit()
+        assert commit["round_index"] == 2
+        assert commit["weights"].tobytes() == weights.tobytes()
+        assert commit["result"] == result
+        assert commit["scheduler_state"] == sched
+
+    def test_latest_commit_is_highest_round(self, store_factory):
+        store = store_factory()
+        for r in (0, 2, 1):
+            store.record_commit(r, np.full(3, float(r)), {"round_index": r})
+        assert store.latest_commit()["round_index"] == 2
+
+
+class TestDurableRestart:
+    """Cross-instance behaviour only the durable flavour can exhibit."""
+
+    def test_fresh_instance_sees_committed_state(self, tmp_path):
+        first = DurableCheckpointStore(tmp_path / "s")
+        digest = first.put(_ckpt(round_index=1, positions=(0, 1)))
+        first.record_commit(0, np.arange(4.0), {"round_index": 0})
+
+        second = DurableCheckpointStore(tmp_path / "s")
+        assert len(second) == 1
+        assert second.latest_for(1, "m").digest() == digest
+        assert second.latest_commit()["round_index"] == 0
+
+    def test_clear_round_survives_restart(self, tmp_path):
+        first = DurableCheckpointStore(tmp_path / "s")
+        first.put(_ckpt(round_index=0))
+        first.clear_round(0)
+        second = DurableCheckpointStore(tmp_path / "s")
+        assert second.latest_for(0, "m") is None

@@ -1,0 +1,147 @@
+"""Real process death, real resume: SIGKILL a coordinator, finish its run.
+
+For every (engine, chaos seed) cell the suite launches
+``_crash_harness.py`` as a child process that kills *itself* with SIGKILL
+after the K-th checkpoint write, then launches a fresh child over the
+same state directory and byte-compares its final weights, per-round
+result dicts and ledger head MAC against an uninterrupted in-process
+reference run.  No exception unwinding, no shared memory — if the resume
+matches, the durability plane actually survives process death.
+
+``REPRO_CHAOS_SEEDS`` (first four entries) overrides the seed matrix;
+``REPRO_CHAOS_STATE_DIR`` roots the state directories (default: pytest
+tmp dirs).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+import pytest
+
+import _crash_harness
+from repro.persist import canonical_json
+
+_HARNESS = os.path.abspath(_crash_harness.__file__)
+_REPO_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(_HARNESS), "..", "..", "src")
+)
+
+KILL_AFTER_PUTS = 3
+
+
+def _seeds():
+    raw = os.environ.get("REPRO_CHAOS_SEEDS", "")
+    if raw.strip():
+        return [int(tok) for tok in raw.split(",") if tok.strip()][:4]
+    return [0, 1, 2, 3]
+
+
+SEEDS = _seeds()
+ENGINES = ["batched", "oracle", "sharded"]
+
+# Every cell that actually observed its child die by SIGKILL records
+# itself here; the suite-level test asserts the count is non-zero, so the
+# "crash" in crash-recovery can never silently degrade to a clean exit.
+_observed_kills = []
+
+
+def _state_root():
+    root = os.environ.get("REPRO_CHAOS_STATE_DIR")
+    if root:
+        os.makedirs(root, exist_ok=True)
+        return root
+    return None
+
+
+def _spawn(seed, engine, state_dir, out, kill_after=0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_REPO_SRC, env.get("PYTHONPATH", "")) if p
+    )
+    return subprocess.run(
+        [
+            sys.executable,
+            _HARNESS,
+            "--seed", str(seed),
+            "--engine", engine,
+            "--state-dir", state_dir,
+            "--out", out,
+            "--kill-after-puts", str(kill_after),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Uninterrupted fingerprints, computed once per (engine, seed) in
+    this process and normalized through JSON (tuples become lists, as in
+    the children's output files)."""
+    cache = {}
+
+    def get(seed, engine):
+        if (seed, engine) not in cache:
+            cache[(seed, engine)] = json.loads(
+                canonical_json(_crash_harness.run_world(seed, engine))
+            )
+        return cache[(seed, engine)]
+
+    return get
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sigkill_then_resume_is_byte_identical(seed, engine, references, tmp_path):
+    root = _state_root()
+    base = tempfile.mkdtemp(prefix=f"crash-{engine}-{seed}-", dir=root) if root else str(tmp_path)
+    state_dir = os.path.join(base, "state")
+    out = os.path.join(base, "out.json")
+
+    killed = _spawn(seed, engine, state_dir, out, kill_after=KILL_AFTER_PUTS)
+    assert killed.returncode == -signal.SIGKILL, (
+        f"child should die by SIGKILL, got rc={killed.returncode}\n"
+        f"stdout={killed.stdout}\nstderr={killed.stderr}"
+    )
+    assert not os.path.exists(out), "a killed child must not have produced output"
+    assert os.path.isdir(state_dir), "the kill must happen after state hit the disk"
+    _observed_kills.append((seed, engine))
+
+    resumed = _spawn(seed, engine, state_dir, out)
+    assert resumed.returncode == 0, f"resume failed:\n{resumed.stderr}"
+    output = json.loads(open(out).read())
+    assert output["resumed_round"] is not None, "the fresh process must actually resume"
+
+    reference = references(seed, engine)
+    assert output["weights_hex"] == reference["weights_hex"]
+    assert output["results"] == reference["results"]
+    assert output["ledger_head_mac"] == reference["ledger_head_mac"]
+    assert output["ledger_used"] == reference["ledger_used"]
+    assert output["ledger_chain_ok"] is True
+
+
+def test_uninterrupted_durable_run_matches_no_store_run(references, tmp_path):
+    """The durable plane is observationally inert when nothing crashes."""
+    seed, engine = SEEDS[0], "batched"
+    durable = json.loads(
+        canonical_json(
+            _crash_harness.run_world(seed, engine, state_dir=str(tmp_path / "state"))
+        )
+    )
+    reference = references(seed, engine)
+    assert durable["weights_hex"] == reference["weights_hex"]
+    assert durable["results"] == reference["results"]
+    assert durable["ledger_head_mac"] == reference["ledger_head_mac"]
+
+
+def test_zzz_at_least_one_real_kill_happened():
+    """Suite-level guard (runs last by name): the matrix above must have
+    observed at least one genuine SIGKILL death, else the crash tests
+    proved nothing."""
+    assert len(_observed_kills) >= 1

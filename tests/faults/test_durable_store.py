@@ -1,0 +1,383 @@
+"""Corruption regressions for the durable crash-recovery plane.
+
+Every persisted artifact is digest-verified on load; these tests damage
+the on-disk state in each of the ways a real crash or bad disk can and
+assert the store raises a typed :class:`CheckpointCorrupted` naming the
+offending path — never resumes from unverified bytes.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from _sharded_worlds import federated_world
+from repro.billing.metering import LedgerEntry, UsageLedger
+from repro.faults import (
+    CheckpointCorrupted,
+    DurableCheckpointStore,
+    DurableDecisionLog,
+    FaultPlan,
+    FaultRates,
+    RoundCheckpoint,
+)
+from repro.persist import IntegrityError, atomic_write_bytes, read_bytes_verified
+
+
+def _ckpt(round_index=0, model_digest="m", positions=(0, 1)):
+    ckpt = RoundCheckpoint(
+        round_index=round_index,
+        model_digest=model_digest,
+        selected=("a", "b"),
+        contributors=("a", "b"),
+        stragglers=(),
+        counts={},
+    )
+    for pos in positions:
+        ckpt.record_cohort(pos, [pos], np.full((1, 4), 1.5), np.ones(1), np.ones(1))
+    return ckpt
+
+
+def _object_path(store, digest):
+    entry = store._manifest["checkpoints"][digest]
+    return os.path.join(store.root, entry["file"])
+
+
+class TestCorruptionDetection:
+    def test_truncated_object_file(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        digest = store.put(_ckpt())
+        path = _object_path(store, digest)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        fresh = DurableCheckpointStore(tmp_path)
+        with pytest.raises(CheckpointCorrupted) as exc_info:
+            fresh.latest_for(0, "m")
+        assert exc_info.value.path == path
+        assert "truncated" in str(exc_info.value)
+
+    def test_bit_flipped_object_file(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        digest = store.put(_ckpt())
+        path = _object_path(store, digest)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        fresh = DurableCheckpointStore(tmp_path)
+        with pytest.raises(CheckpointCorrupted) as exc_info:
+            fresh.get(digest)
+        assert exc_info.value.path == path
+        assert exc_info.value.expected  # the digest it wanted is named
+
+    def test_stale_manifest_missing_file(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        digest = store.put(_ckpt())
+        os.remove(_object_path(store, digest))
+        fresh = DurableCheckpointStore(tmp_path)
+        with pytest.raises(CheckpointCorrupted, match="missing"):
+            fresh.latest_for(0, "m")
+
+    def test_tampered_manifest(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        store.put(_ckpt())
+        manifest_path = os.path.join(store.root, "MANIFEST.json")
+        body = json.loads(open(manifest_path).read())
+        body["seq"] = 999  # edit without recomputing the self-digest
+        with open(manifest_path, "w") as fh:
+            json.dump(body, fh)
+        with pytest.raises(CheckpointCorrupted, match="self-digest"):
+            DurableCheckpointStore(tmp_path)
+
+    def test_unparseable_manifest(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        store.put(_ckpt())
+        with open(os.path.join(store.root, "MANIFEST.json"), "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(CheckpointCorrupted):
+            DurableCheckpointStore(tmp_path)
+
+    def test_tmp_file_debris_is_invisible(self, tmp_path):
+        """A crash mid-payload-write leaves only a tmp file: ignored."""
+        store = DurableCheckpointStore(tmp_path)
+        digest = store.put(_ckpt())
+        debris = os.path.join(store.root, "objects", ".tmp-leftover")
+        with open(debris, "wb") as fh:
+            fh.write(b"half-written garbage")
+        fresh = DurableCheckpointStore(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.latest_for(0, "m").digest() == digest
+
+    def test_orphan_payload_is_invisible(self, tmp_path):
+        """A crash between payload rename and manifest flush leaves an
+        orphan object file no manifest entry references: never loaded."""
+        store = DurableCheckpointStore(tmp_path)
+        store.put(_ckpt())
+        orphan = os.path.join(store.root, "objects", "f" * 64 + ".npz")
+        with open(orphan, "wb") as fh:
+            fh.write(b"orphan bytes from a dead process")
+        fresh = DurableCheckpointStore(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.get("f" * 64) is None
+
+    def test_resume_or_raise_names_the_digest_mismatch(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        store.put(_ckpt(round_index=2, model_digest="weights-A"))
+        found = store.resume_or_raise(2, "weights-A")
+        assert found.model_digest == "weights-A"
+        with pytest.raises(CheckpointCorrupted) as exc_info:
+            store.resume_or_raise(2, "weights-B")
+        assert exc_info.value.expected == "weights-B"
+        assert exc_info.value.actual == ["weights-A"]
+
+    def test_corrupt_commit_record(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        store.record_commit(0, np.arange(3.0), {"round_index": 0})
+        entry = store._manifest["commits"]["0"]
+        path = os.path.join(store.root, entry["file"])
+        with open(path, "ab") as fh:
+            fh.write(b"extra")
+        fresh = DurableCheckpointStore(tmp_path)
+        with pytest.raises(CheckpointCorrupted):
+            fresh.latest_commit()
+
+
+class TestPersistPrimitives:
+    def test_atomic_write_then_verified_read(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        digest = atomic_write_bytes(path, b"payload")
+        assert read_bytes_verified(path, digest, 7) == b"payload"
+
+    def test_verified_read_rejects_wrong_size_first(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        digest = atomic_write_bytes(path, b"payload")
+        with pytest.raises(IntegrityError, match="truncated"):
+            read_bytes_verified(path, digest, 6)
+
+    def test_failed_write_leaves_no_debris(self, tmp_path):
+        # The "directory" is actually a file, so the write cannot commit.
+        blocker = tmp_path / "sub"
+        blocker.write_bytes(b"")
+        with pytest.raises(OSError):
+            atomic_write_bytes(str(blocker / "blob.bin"), b"x")
+        assert list(tmp_path.iterdir()) == [blocker]
+
+
+class TestPlanAndLedgerPersistence:
+    def test_fault_plan_round_trips_with_digest(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        plan = FaultPlan.generate(
+            11, client_ids=["c0", "c1"], n_rounds=3, n_windows=2,
+            rates=FaultRates(round_interrupt=0.5),
+        )
+        digest = store.put_plan(plan)
+        fresh = DurableCheckpointStore(tmp_path)
+        restored = fresh.load_plan()
+        assert restored.digest() == digest == plan.digest()
+        assert fresh.load_plan(digest).digest() == digest
+
+    def test_tampered_plan_rejected(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        digest = store.put_plan(FaultPlan(seed=1, interrupts=((0, 1),)))
+        entry = store._manifest["records"][f"fault-plan/{digest}"]
+        path = os.path.join(store.root, entry["file"])
+        record = json.loads(open(path).read())
+        record["plan"]["seed"] = 999
+        # Re-commit the edit "atomically" so only the content digest is off.
+        new_digest = atomic_write_bytes(
+            path, json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        )
+        entry["file_digest"] = new_digest
+        entry["size"] = os.path.getsize(path)
+        store._flush()
+        fresh = DurableCheckpointStore(tmp_path)
+        with pytest.raises(CheckpointCorrupted, match="plan content digest"):
+            fresh.load_plan(digest)
+
+    @staticmethod
+    def _metered_ledger(quota=40):
+        from repro.billing import BillingBackend, PricingPlan
+
+        billing = BillingBackend()
+        billing.register_plan(PricingPlan(model_name="m"))
+        key = billing.enroll_device("dev-0")
+        grant = billing.sell_package("dev-0", "m", quota)
+
+        def build():
+            ledger = UsageLedger("dev-0", key)
+            ledger.add_grant(grant, backend_key=billing.signing_key())
+            return ledger
+
+        return build
+
+    def test_ledger_segments_round_trip_with_macs(self, tmp_path):
+        build = self._metered_ledger()
+        ledger = build()
+        for i in range(4):
+            ledger.record_batch("m", 2 + i)
+        segment = ledger.export_segment(0)
+        store = DurableCheckpointStore(tmp_path)
+        store.put_ledger_segments("round-0", {"dev-0": segment})
+
+        fresh = DurableCheckpointStore(tmp_path)
+        [(label, segments)] = fresh.iter_ledger_segments()
+        assert label == "round-0"
+        replay = build()
+        replay.append_segment(segments["dev-0"])  # re-verifies every MAC
+        assert replay.head_mac() == ledger.head_mac()
+        assert replay.verify_chain()
+        assert replay.used("m") == ledger.used("m")
+
+    def test_tampered_ledger_segment_cannot_reenter_a_chain(self, tmp_path):
+        build = self._metered_ledger()
+        ledger = build()
+        ledger.record_batch("m", 3)
+        store = DurableCheckpointStore(tmp_path)
+        store.put_ledger_segments("round-0", {"dev-0": ledger.export_segment(0)})
+        entry = store._manifest["records"]["ledger-segment/round-0"]
+        path = os.path.join(store.root, entry["file"])
+        record = json.loads(open(path).read())
+        record["segments"]["dev-0"][0]["count"] = 999  # inflate the bill
+        new_digest = atomic_write_bytes(
+            path, json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        )
+        entry["file_digest"] = new_digest
+        entry["size"] = os.path.getsize(path)
+        store._flush()
+        fresh = DurableCheckpointStore(tmp_path)
+        [(_, segments)] = fresh.iter_ledger_segments()
+        replay = build()
+        with pytest.raises(ValueError):
+            replay.append_segment(segments["dev-0"])
+
+
+class TestMergeIntentWal:
+    def test_begin_merge_is_pending_until_committed(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        token = store.begin_merge("serve", {"n_shards": 2})
+        assert [p["token"] for p in store.pending_merges()] == [token]
+        store.commit_merge(token)
+        assert store.pending_merges() == []
+
+    def test_crash_mid_merge_is_detectable_from_fresh_process(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        done = store.begin_merge("serve", {"n_shards": 2})
+        store.commit_merge(done)
+        interrupted = store.begin_merge("serve", {"n_shards": 3})
+        # "crash": no commit_merge; a fresh process inspects and discards.
+        fresh = DurableCheckpointStore(tmp_path)
+        pending = fresh.pending_merges()
+        assert [p["token"] for p in pending] == [interrupted]
+        assert pending[0]["n_shards"] == 3
+        assert fresh.discard_pending_merges() == 1
+        assert fresh.pending_merges() == []
+
+    def test_commit_unknown_token_raises(self, tmp_path):
+        store = DurableCheckpointStore(tmp_path)
+        with pytest.raises(KeyError):
+            store.commit_merge("serve-000042")
+
+    def test_sharded_serve_journals_the_barrier_merge(self, tmp_path):
+        from _sharded_worlds import serving_world
+        from repro.runtime.sharded import ShardedFleetRunner
+
+        engine, window = serving_world(seed=5, n_devices=6)
+        store = DurableCheckpointStore(tmp_path)
+        engine.shard_runner = ShardedFleetRunner(
+            workers=2, backend="inline", durable_store=store
+        )
+        report = engine.serve_fleet("m", window, engine="sharded")
+        assert report is not None
+        assert store.pending_merges() == []  # committed
+        names = store.record_names("merge-intent", committed_only=False)
+        assert len(names) == 1
+        record = store.get_record("merge-intent", names[0])
+        assert record["scope"] == "serve"
+        assert record["n_shards"] >= 2
+
+
+class TestDecisionLog:
+    def test_append_load_round_trip(self, tmp_path):
+        log = DurableDecisionLog(tmp_path)
+        log.append({"cycle": 0, "promoted": True})
+        log.append({"cycle": 1, "promoted": False})
+        fresh = DurableDecisionLog(tmp_path)
+        assert len(fresh) == 2
+        assert [d["cycle"] for d in fresh.load()] == [0, 1]
+
+    def test_shares_state_dir_with_engine_store(self, tmp_path):
+        """The decision log owns a subdirectory, so one state_dir can hold
+        both an engine's checkpoints and the lifecycle decisions."""
+        store = DurableCheckpointStore(tmp_path)
+        store.put(_ckpt())
+        log = DurableDecisionLog(tmp_path)
+        log.append({"cycle": 0})
+        # Neither clobbered the other's manifest.
+        assert len(DurableCheckpointStore(tmp_path)) == 1
+        assert len(DurableDecisionLog(tmp_path)) == 1
+
+
+class TestLifecycleDurableRestart:
+    @staticmethod
+    def _world(seed=21):
+        from repro.core import PlatformConfig, TinyMLOpsPlatform
+        from repro.data import make_gaussian_blobs, partition_dirichlet
+        from repro.devices import Fleet
+        from repro.nn import make_mlp
+
+        ds = make_gaussian_blobs(600, 12, 4, seed=seed)
+        train, test = ds.split(0.3, seed=seed)
+        fleet = Fleet.random(8, seed=seed)
+        platform = TinyMLOpsPlatform(
+            fleet, PlatformConfig(bit_widths=(8,), sparsities=(0.5,), seed=seed)
+        )
+        model = make_mlp(12, 4, hidden=(16,), seed=0, name="wakeword")
+        model.fit(train.x, train.y, epochs=3, lr=0.01, seed=0)
+        platform.release(model, test.x, test.y)
+        platform.deploy(
+            "wakeword",
+            reference_x=train.x[:100],
+            reference_predictions=model.predict_classes(train.x[:100]),
+            num_classes=4,
+            prepaid_queries=2000,
+        )
+        clients = partition_dirichlet(train, 4, alpha=0.7, seed=seed)
+        return platform, clients, test
+
+    def test_lifecycle_decisions_survive_restart(self, tmp_path):
+        from repro.lifecycle import LifecycleConfig
+
+        config = LifecycleConfig(rounds=1, canary_windows=2, seed=21)
+        platform, clients, test = self._world()
+        pipe = platform.lifecycle(
+            "wakeword", clients, (test.x, test.y),
+            config=config, state_dir=str(tmp_path / "lc"),
+        )
+        first = pipe.run_cycle(trigger={"kind": "manual"})
+        assert pipe._cycles == 1
+
+        # Restart: a fresh platform world + a fresh pipeline over the same
+        # state_dir replays the decision log.
+        platform2, clients2, test2 = self._world()
+        pipe2 = platform2.lifecycle(
+            "wakeword", clients2, (test2.x, test2.y),
+            config=config, state_dir=str(tmp_path / "lc"),
+        )
+        assert pipe2._cycles == 1
+        assert len(pipe2.history) == 1
+        restored = pipe2.history[0]
+        assert restored.cycle == first.cycle
+        assert restored.promoted == first.promoted
+        assert restored.candidate_version == first.candidate_version
+        assert restored.record_digest == first.record_digest
+        assert restored.promotion == first.promotion
+        if first.promoted:
+            assert restored.promotion.get("version") == first.candidate_version
+            assert restored.promotion.get("flipped_devices")
+
+        # The next cycle numbers itself after the restored history.
+        second = pipe2.run_cycle(trigger={"kind": "manual"})
+        assert second.cycle == 1
+        assert len(DurableDecisionLog(str(tmp_path / "lc")).load()) == 2

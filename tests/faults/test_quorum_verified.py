@@ -1,0 +1,159 @@
+"""Byzantine-quorum matrix: ``quorum_mode="verified"`` vs legacy.
+
+Verified mode counts only non-byzantine deliveries with zero corrupt
+attempts toward the quorum.  The matrix pins the two decisive behaviours:
+a byzantine-heavy cohort aborts under verified while legacy commits, and
+when the two modes agree the committed bytes are identical.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from _sharded_worlds import federated_world
+from repro.faults import FaultInjector, FaultPlan, FaultRates, RetryPolicy
+from repro.federated.engine import FederatedEngine, RoundScenario
+
+N_CLIENTS = 8
+ENGINES = ["batched", "oracle", "sharded"]
+
+
+def _world(seed=4, quorum=None, quorum_mode="delivered", scenario=None, plan=None):
+    fed = federated_world(seed, N_CLIENTS)
+    fed.quorum = quorum
+    fed.quorum_mode = quorum_mode
+    fed.scenario = scenario
+    if plan is not None:
+        fed.fault_injector = FaultInjector(plan)
+    return fed
+
+
+def _byz_scenario(fed, n_byz):
+    ids = frozenset(sorted(fed.clients)[:n_byz])
+    return RoundScenario(byzantine_ids=ids, byzantine_mode="scale", byzantine_scale=5.0)
+
+
+class TestModeValidation:
+    def test_engine_rejects_unknown_mode(self):
+        fed = federated_world(0, 4)
+        with pytest.raises(ValueError, match="quorum_mode"):
+            FederatedEngine(
+                fed.global_model, list(fed.clients.values()), quorum_mode="strict"
+            )
+
+    def test_engine_accepts_both_modes(self):
+        fed = federated_world(0, 4)
+        for mode in ("delivered", "verified"):
+            engine = FederatedEngine(
+                fed.global_model, list(fed.clients.values()), quorum_mode=mode
+            )
+            assert engine.quorum_mode == mode
+
+
+class TestByzantineDiscount:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_verified_aborts_where_legacy_commits(self, engine):
+        """Half the cohort is byzantine: every delta still arrives, so the
+        legacy count meets quorum, but the verified count cannot."""
+        legacy = _world(quorum=0.6)
+        legacy.scenario = _byz_scenario(legacy, N_CLIENTS // 2)
+        legacy_result = legacy.run_round(0, engine=engine)
+        assert not legacy_result.aborted
+
+        verified = _world(quorum=0.6, quorum_mode="verified")
+        verified.scenario = _byz_scenario(verified, N_CLIENTS // 2)
+        before = verified.global_model.get_flat_weights().tobytes()
+        result = verified.run_round(0, engine=engine)
+        assert result.aborted
+        assert "verified" in result.abort_reason
+        assert result.quorum_shortfall > 0
+        # The abort had zero side effects on the weights.
+        assert verified.global_model.get_flat_weights().tobytes() == before
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_modes_commit_byte_identically_when_nothing_suspect(self, engine):
+        """No byzantine clients, no corrupt attempts: the verified count
+        equals the delivered count and the committed bytes match."""
+        runs = {}
+        for mode in ("delivered", "verified"):
+            fed = _world(quorum=0.4, quorum_mode=mode)
+            result = fed.run_round(0, engine=engine)
+            assert not result.aborted
+            runs[mode] = (fed.global_model.get_flat_weights().tobytes(), result.as_dict())
+        assert runs["delivered"] == runs["verified"]
+
+    def test_byzantine_deltas_still_aggregate_in_both_modes(self):
+        """Verified mode changes only the quorum *count*: a met-quorum
+        round aggregates byzantine deltas exactly like legacy mode."""
+        runs = {}
+        for mode in ("delivered", "verified"):
+            fed = _world(quorum=0.25, quorum_mode=mode)
+            fed.scenario = _byz_scenario(fed, 2)
+            result = fed.run_round(0)
+            assert not result.aborted
+            runs[mode] = fed.global_model.get_flat_weights().tobytes()
+        assert runs["delivered"] == runs["verified"]
+
+
+class TestCorruptAttemptDiscount:
+    def _corrupt_plan(self, fed, n_corrupt):
+        """Every delivery eventually succeeds, but the first ``n_corrupt``
+        clients' first attempts arrive damaged (corrupt-then-ok)."""
+        clients = sorted(fed.clients)
+        deliveries = tuple(
+            (0, cid, ("corrupt", "ok")) for cid in clients[:n_corrupt]
+        )
+        return FaultPlan(seed=0, deliveries=deliveries)
+
+    def test_corrupt_attempts_discount_the_verified_count(self):
+        fed = _world(quorum=0.8, quorum_mode="verified")
+        fed.fault_injector = FaultInjector(self._corrupt_plan(fed, 4))
+        result = fed.run_round(0)
+        # All deltas delivered (legacy would commit)...
+        legacy = _world(quorum=0.8)
+        legacy.fault_injector = FaultInjector(self._corrupt_plan(legacy, 4))
+        assert not legacy.run_round(0).aborted
+        # ...but four arrived via a corrupt attempt: verified aborts.
+        assert result.aborted
+        assert "verified" in result.abort_reason
+
+    def test_clean_retransmits_count_as_verified(self):
+        """Lost-then-ok is a clean delivery (no corrupt attempt): verified
+        counts it, so the round commits in both modes."""
+        fed = _world(quorum=0.8, quorum_mode="verified")
+        clients = sorted(fed.clients)
+        plan = FaultPlan(
+            seed=0, deliveries=tuple((0, cid, ("lost", "ok")) for cid in clients[:4])
+        )
+        fed.fault_injector = FaultInjector(plan)
+        result = fed.run_round(0)
+        assert not result.aborted
+        assert result.n_retransmits >= 4
+
+
+class TestAbortReasonString:
+    def test_legacy_reason_is_byte_identical_to_pre_verified_format(self):
+        """The default mode's abort string must not change shape."""
+        fed = _world(quorum=1.0)
+        clients = sorted(fed.clients)
+        rates = FaultRates()
+        plan = FaultPlan(
+            seed=0,
+            deliveries=tuple(
+                (0, cid, ("lost",) * rates.max_attempt_draws) for cid in clients[:3]
+            ),
+        )
+        fed.fault_injector = FaultInjector(plan, retry_policy=RetryPolicy(max_attempts=2))
+        result = fed.run_round(0)
+        assert result.aborted
+        assert " verified " not in result.abort_reason
+        assert "quorum not met: " in result.abort_reason
+        assert " deliverable of " in result.abort_reason
+
+    def test_verified_reason_carries_the_mode_token(self):
+        fed = _world(quorum=1.0, quorum_mode="verified")
+        fed.scenario = _byz_scenario(fed, 1)
+        result = fed.run_round(0)
+        assert result.aborted
+        assert " verified deliverable of " in result.abort_reason

@@ -1,0 +1,134 @@
+"""ConnectivityTrace-driven serving partitions through the FaultInjector.
+
+The injector steps every trace once per window (in sorted device order,
+devices absent from the window included) and partitions the devices whose
+Markov chain landed offline, in union with the plan's flat
+``serve_offline`` table.  ``reset()`` rewinds the chains, so trace-driven
+runs replay deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from _sharded_worlds import serving_world, serving_snapshot
+from repro.devices.network import ConnectivityTrace, NetworkType
+from repro.faults import FaultInjector, FaultPlan
+
+
+def _offline_heavy_trace(seed=0):
+    """A sticky chain that starts offline and mostly stays there."""
+    return ConnectivityTrace(
+        states=(NetworkType.OFFLINE, NetworkType.WIFI),
+        transition=np.array([[0.9, 0.1], [0.5, 0.5]]),
+        initial=NetworkType.OFFLINE,
+        seed=seed,
+    )
+
+
+def _always_online_trace(seed=0):
+    return ConnectivityTrace(
+        states=(NetworkType.WIFI,), transition=np.array([[1.0]]), seed=seed
+    )
+
+
+def _windows(device_ids, n=4, seed=3):
+    rng = np.random.default_rng(seed)
+    return [{d: rng.normal(size=(2, 8)) for d in device_ids} for _ in range(n)]
+
+
+class TestFilterWindow:
+    def test_all_online_traces_are_a_noop(self):
+        inj = FaultInjector(
+            FaultPlan(seed=0),
+            connectivity={"a": _always_online_trace(), "b": _always_online_trace(1)},
+        )
+        window = {"a": np.ones((1, 2)), "b": np.ones((1, 2))}
+        kept, dropped = inj.filter_window(window)
+        assert kept == window and dropped == {}
+
+    def test_offline_trace_partitions_deterministically(self):
+        inj = FaultInjector(
+            FaultPlan(seed=0), connectivity={"a": _offline_heavy_trace()}
+        )
+        window = {"a": np.ones((1, 2)), "b": np.ones((1, 2))}
+        outcomes = [sorted(inj.filter_window(dict(window))[1]) for _ in range(8)]
+        assert any("a" in d for d in outcomes)  # it does go offline
+        assert all("b" not in d for d in outcomes)  # untraced devices never
+
+    def test_reset_replays_the_same_partition_sequence(self):
+        inj = FaultInjector(
+            FaultPlan(seed=0),
+            connectivity={"a": _offline_heavy_trace(), "b": _offline_heavy_trace(7)},
+        )
+        window = {"a": np.ones((1, 2)), "b": np.ones((1, 2))}
+        first = [sorted(inj.filter_window(dict(window))[1]) for _ in range(6)]
+        inj.reset()
+        second = [sorted(inj.filter_window(dict(window))[1]) for _ in range(6)]
+        assert first == second
+
+    def test_union_with_plan_offline_table(self):
+        plan = FaultPlan(seed=0, serve_offline=((0, "b"),))
+        inj = FaultInjector(plan, connectivity={"a": _offline_heavy_trace()})
+        window = {"a": np.ones((1, 2)), "b": np.ones((1, 2))}
+        kept, dropped = inj.filter_window(window)
+        assert "b" in dropped  # from the plan table
+        assert "a" in dropped  # from the trace (starts offline, sticky)
+
+    def test_traces_step_even_when_absent_from_the_window(self):
+        """Chain positions track the window counter, not the traffic: a
+        device that skips a window reaches the same state either way."""
+        a, b = _offline_heavy_trace(5), _offline_heavy_trace(5)
+        full = FaultInjector(FaultPlan(seed=0), connectivity={"dev": a})
+        sparse = FaultInjector(FaultPlan(seed=0), connectivity={"dev": b})
+        for i in range(5):
+            full.filter_window({"dev": np.ones((1, 2))})
+            sparse.filter_window({} if i % 2 else {"other": np.ones((1, 2))})
+        assert a.state_dict() == b.state_dict()
+
+
+class TestTraceStateDict:
+    def test_round_trips_chain_position_and_rng(self):
+        trace = _offline_heavy_trace(3)
+        for _ in range(4):
+            trace.step()
+        snapshot = trace.state_dict()
+        expected = [trace.step().kind for _ in range(5)]
+        trace.load_state_dict(snapshot)
+        replayed = [trace.step().kind for _ in range(5)]
+        assert replayed == expected
+
+
+class TestServingIntegration:
+    def test_trace_partitions_drop_queries_not_bill_them(self):
+        engine, window = serving_world(seed=6, n_devices=6)
+        traced = sorted(window)[:2]
+        inj = FaultInjector(
+            FaultPlan(seed=0),
+            connectivity={d: _offline_heavy_trace(i) for i, d in enumerate(traced)},
+        )
+        engine.fault_injector = inj
+        report = engine.serve_fleet("m", window)
+        n_queries = sum(int(np.asarray(x).shape[0]) for x in window.values())
+        assert report.network_failures > 0
+        assert report.requested == n_queries
+        # Partitioned queries are neither served nor billed.
+        assert (
+            report.served
+            + report.denied_quota
+            + report.battery_failures
+            + report.network_failures
+            == n_queries
+        )
+
+    def test_reset_makes_traced_serving_replayable(self):
+        runs = []
+        for _ in range(2):
+            engine, window = serving_world(seed=6, n_devices=6)
+            traced = sorted(window)[:2]
+            engine.fault_injector = FaultInjector(
+                FaultPlan(seed=0),
+                connectivity={d: _offline_heavy_trace(i) for i, d in enumerate(traced)},
+            )
+            engine.serve_fleet("m", window)
+            runs.append(serving_snapshot(engine))
+        assert runs[0] == runs[1]
